@@ -1,0 +1,89 @@
+"""E4 — Fig. 3 M, ref [16]: parallel & scalable SVM on the Cluster Module.
+
+Strong scaling of the MPI cascade SVM against serial SMO on an RS pixel
+classification problem: equal-quality decision function, training-time
+reduction that grows with rank count (SMO cost is superlinear in n, so
+partitioned sub-problems are disproportionately cheaper).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.datasets import BigEarthNetConfig, SyntheticBigEarthNet
+from repro.ml import train_test_split
+from repro.mpi import run_spmd
+from repro.svm import SVC
+from repro.svm.cascade import cascade_train, serial_train
+
+from conftest import emit_table
+
+
+@pytest.fixture(scope="module")
+def rs_problem():
+    spectra, labels = SyntheticBigEarthNet(BigEarthNetConfig(
+        n_classes=4, seed=3, noise_sigma=0.05)).pixels(1600)
+    y = np.where(labels < 2, -1.0, 1.0)
+    return train_test_split(spectra, y, test_fraction=0.2, seed=0)
+
+
+def _template():
+    return SVC(kernel="rbf", gamma=2.0, C=1.0)
+
+
+def test_fig3_cascade_strong_scaling(benchmark, rs_problem):
+    Xtr, Xte, ytr, yte = rs_problem
+
+    serial_machine, t_serial = serial_train(Xtr, ytr, template=_template())
+    serial_acc = serial_machine.score(Xte, yte)
+
+    def run_cascade(p):
+        def fn(comm):
+            shard = np.arange(comm.rank, len(ytr), comm.size)
+            return cascade_train(comm, Xtr[shard], ytr[shard],
+                                 template=_template())
+
+        t0 = time.perf_counter()
+        result = run_spmd(fn, p)[0]
+        wall = time.perf_counter() - t0
+        return result, wall
+
+    result8, _ = benchmark.pedantic(run_cascade, args=(8,), rounds=1,
+                                    iterations=1)
+
+    rows = [["serial", f"{t_serial * 1e3:.0f}", f"{serial_acc:.3f}", "1.0"]]
+    for p in (2, 4, 8):
+        result, wall = run_cascade(p)
+        rows.append([f"cascade p={p}", f"{wall * 1e3:.0f}",
+                     f"{result.score(Xte, yte):.3f}",
+                     f"{t_serial / wall:.1f}"])
+    emit_table("E4/Fig. 3 M — parallel SVM on the CM (strong scaling)",
+               ["configuration", "train ms", "test acc", "speedup"], rows)
+    benchmark.extra_info["scaling"] = rows
+
+    # Quality preserved across the cascade.
+    assert result8.score(Xte, yte) >= serial_acc - 0.03
+    # Parallel training reduces wall time vs the serial SMO.
+    p8_wall = float(rows[-1][1])
+    assert p8_wall < t_serial * 1e3
+
+
+def test_fig3_cascade_communicates_only_support_vectors(benchmark, rs_problem):
+    Xtr, _, ytr, _ = rs_problem
+
+    def fn(comm):
+        shard = np.arange(comm.rank, len(ytr), comm.size)
+        return cascade_train(comm, Xtr[shard], ytr[shard],
+                             template=_template())
+
+    result = benchmark.pedantic(lambda: run_spmd(fn, 4)[0], rounds=1,
+                                iterations=1)
+    frac = result.total_sv_exchanged / len(ytr)
+    benchmark.extra_info["sv_fraction"] = frac
+    emit_table("E4 — cascade communication volume",
+               ["quantity", "value"],
+               [["training rows", len(ytr)],
+                ["support vectors exchanged", result.total_sv_exchanged],
+                ["fraction", f"{frac:.2%}"]])
+    assert frac < 0.5

@@ -1,0 +1,41 @@
+"""Shared helpers for the per-experiment benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures (see DESIGN.md's
+experiment index).  Conventions:
+
+* the timed kernel goes through the ``benchmark`` fixture,
+* the regenerated rows/series are attached to ``benchmark.extra_info`` (so
+  ``--benchmark-json`` exports them) **and** echoed through
+  :func:`emit_table` (visible with ``-s``; always appended to
+  ``benchmarks/results.txt``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_results_file():
+    """One results.txt per bench session."""
+    RESULTS_PATH.write_text("")
+    yield
+
+
+def emit_table(title: str, header: list[str], rows: list[list]) -> str:
+    """Format, print and persist one experiment table."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+              for i, h in enumerate(header)]
+    lines = [title, "-" * len(title)]
+    lines.append("".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(text + "\n\n")
+    return text

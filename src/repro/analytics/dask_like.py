@@ -1,0 +1,170 @@
+"""A Dask-like delayed task graph (the paper's Jupyter companion tool).
+
+Sec. III-B: "To use Jupyter straightforward with DL packages and Dask
+[22] ... we usually define our own Kernel".  Dask's core abstraction is the
+*delayed* computation: calls build a task DAG which a scheduler executes
+with maximal sharing (each task once) and optional thread parallelism.
+
+This mini implementation provides:
+
+* :func:`delayed` — wrap a function so calls build graph nodes instead of
+  executing,
+* :meth:`Delayed.compute` — execute the DAG (topologically, each node
+  once, even when referenced repeatedly — the diamond-sharing property),
+* :func:`compute` — evaluate several delayed values with a *shared* cache,
+* a threaded executor for embarrassing parallelism across independent
+  branches (NumPy releases the GIL).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+_id_counter = itertools.count()
+
+
+class Delayed:
+    """A node in a lazy task graph."""
+
+    __slots__ = ("func", "args", "kwargs", "key", "name")
+
+    def __init__(self, func: Callable, args: tuple, kwargs: dict,
+                 name: str = "") -> None:
+        self.func = func
+        self.args = args
+        self.kwargs = kwargs
+        self.key = next(_id_counter)
+        self.name = name or getattr(func, "__name__", "task")
+
+    def __repr__(self) -> str:
+        return f"Delayed({self.name}#{self.key})"
+
+    # -- graph construction sugar -----------------------------------------
+    def __add__(self, other: Any) -> "Delayed":
+        return delayed(lambda a, b: a + b, name="add")(self, other)
+
+    def __mul__(self, other: Any) -> "Delayed":
+        return delayed(lambda a, b: a * b, name="mul")(self, other)
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    # -- execution -----------------------------------------------------------
+    def _dependencies(self) -> list["Delayed"]:
+        deps = [a for a in self.args if isinstance(a, Delayed)]
+        deps += [v for v in self.kwargs.values() if isinstance(v, Delayed)]
+        return deps
+
+    def compute(self, n_workers: int = 1,
+                _cache: Optional[dict] = None) -> Any:
+        """Evaluate the graph below this node.
+
+        ``n_workers > 1`` executes independent ready tasks concurrently.
+        A shared ``_cache`` lets :func:`compute` evaluate several outputs
+        without recomputing common subgraphs.
+        """
+        cache: dict[int, Any] = _cache if _cache is not None else {}
+        order = self._topological_order(cache)
+        if n_workers <= 1:
+            for node in order:
+                cache[node.key] = node._run(cache)
+            return cache[self.key]
+        return self._parallel_execute(order, cache, n_workers)
+
+    def _topological_order(self, cache: dict) -> list["Delayed"]:
+        order: list[Delayed] = []
+        seen: set[int] = set()
+        stack: list[tuple["Delayed", bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if node.key in seen or node.key in cache:
+                continue
+            seen.add(node.key)
+            stack.append((node, True))
+            for dep in node._dependencies():
+                if dep.key not in seen and dep.key not in cache:
+                    stack.append((dep, False))
+        return order
+
+    def _run(self, cache: dict) -> Any:
+        args = [cache[a.key] if isinstance(a, Delayed) else a
+                for a in self.args]
+        kwargs = {k: cache[v.key] if isinstance(v, Delayed) else v
+                  for k, v in self.kwargs.items()}
+        return self.func(*args, **kwargs)
+
+    def _parallel_execute(self, order: list["Delayed"], cache: dict,
+                          n_workers: int) -> Any:
+        remaining = {node.key: node for node in order}
+        dependents: dict[int, list[int]] = {}
+        blockers: dict[int, int] = {}
+        for node in order:
+            deps = [d for d in node._dependencies() if d.key in remaining]
+            blockers[node.key] = len(deps)
+            for dep in deps:
+                dependents.setdefault(dep.key, []).append(node.key)
+        lock = threading.Lock()
+        done = threading.Event()
+        errors: list[BaseException] = []
+
+        with ThreadPoolExecutor(max_workers=n_workers) as pool:
+            def submit_ready(keys):
+                for key in keys:
+                    pool.submit(run_one, remaining[key])
+
+            def run_one(node: "Delayed") -> None:
+                try:
+                    result = node._run(cache)
+                except BaseException as exc:   # noqa: BLE001
+                    with lock:
+                        errors.append(exc)
+                        done.set()
+                    return
+                newly_ready = []
+                with lock:
+                    cache[node.key] = result
+                    del remaining[node.key]
+                    for dep_key in dependents.get(node.key, ()):
+                        blockers[dep_key] -= 1
+                        if blockers[dep_key] == 0:
+                            newly_ready.append(dep_key)
+                    if not remaining:
+                        done.set()
+                submit_ready(newly_ready)
+
+            with lock:
+                initial = [k for k, node in remaining.items()
+                           if blockers[k] == 0]
+            submit_ready(initial)
+            if order:
+                done.wait()
+        if errors:
+            raise errors[0]
+        return cache[self.key]
+
+
+def delayed(func: Callable, name: str = "") -> Callable[..., Delayed]:
+    """Wrap ``func`` so calls build :class:`Delayed` nodes."""
+    def wrapper(*args, **kwargs) -> Delayed:
+        return Delayed(func, args, kwargs, name=name)
+
+    wrapper.__name__ = f"delayed({getattr(func, '__name__', 'func')})"
+    return wrapper
+
+
+def compute(*values: Delayed, n_workers: int = 1) -> tuple:
+    """Evaluate several delayed values with one shared cache."""
+    cache: dict[int, Any] = {}
+    out = []
+    for value in values:
+        if isinstance(value, Delayed):
+            out.append(value.compute(n_workers=n_workers, _cache=cache))
+        else:
+            out.append(value)
+    return tuple(out)

@@ -1,0 +1,177 @@
+"""Command-line front end: ``python -m repro.cli <command>``.
+
+Commands mirror the operator tasks the examples walk through:
+
+* ``systems`` — print the DEEP and JUWELS inventories (Table I / Sec. II-B),
+* ``schedule`` — run a synthetic Fig. 2 workload mix through a system and
+  print the schedule report,
+* ``scaling`` — print the Fig. 3 distributed-training scaling series,
+* ``submit`` — compile an ``#SBATCH``/``#PHASE`` job script and schedule it,
+* ``experiments`` — list every experiment and the bench that regenerates it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+EXPERIMENTS = [
+    ("E1", "Table I + Fig. 1 (MSA systems)",
+     "benchmarks/bench_table1_msa_systems.py"),
+    ("E2", "Fig. 2 (workload placement MSA vs homogeneous)",
+     "benchmarks/bench_fig2_workload_placement.py"),
+    ("E3", "Fig. 3 (distributed ResNet scaling, 96/128 GPUs)",
+     "benchmarks/bench_fig3_resnet_scaling.py"),
+    ("E4", "Fig. 3 M (parallel cascade SVM)",
+     "benchmarks/bench_fig3_parallel_svm.py"),
+    ("E5", "Fig. 3 R (Spark analytics + AE on the DAM)",
+     "benchmarks/bench_fig3_spark_dam.py"),
+    ("E6", "Sec. III-C (quantum SVM ensembles)",
+     "benchmarks/bench_fig3_quantum_svm.py"),
+    ("E7", "Sec. IV-A / Fig. 4 B (COVID-Net CXR)",
+     "benchmarks/bench_fig4_covidnet.py"),
+    ("E8", "Sec. IV-B / Fig. 4 A (ARDS GRU time series)",
+     "benchmarks/bench_fig4_ards_gru.py"),
+    ("E9", "Fig. 1 GCE (FPGA collective engine)",
+     "benchmarks/bench_gce_collectives.py"),
+    ("E10", "Sec. II-A NAM (dataset sharing)",
+     "benchmarks/bench_nam_sharing.py"),
+    ("E11", "Sec. III-B (cloud interop + economics)",
+     "benchmarks/bench_cloud_interop.py"),
+    ("E12", "Fig. 1 federation (cross-module jobs, co-allocation)",
+     "benchmarks/bench_modular_placement.py"),
+    ("E13", "Fig. 3 A ((near) real-time disaster processing)",
+     "benchmarks/bench_realtime_stream.py"),
+    ("ABL", "design-choice ablations",
+     "benchmarks/bench_ablations.py"),
+]
+
+
+def _build_system(name: str):
+    from repro.core import deep_system, juwels_system
+
+    if name == "deep":
+        return deep_system()
+    if name == "juwels":
+        return juwels_system()
+    raise SystemExit(f"unknown system {name!r} (choose deep or juwels)")
+
+
+def cmd_systems(args: argparse.Namespace) -> int:
+    for name in ("deep", "juwels"):
+        system = _build_system(name)
+        print(system.describe())
+        print(f"  totals: {system.total_nodes} nodes, "
+              f"{system.total_cpu_cores:,} CPU cores, "
+              f"{system.total_gpus:,} GPUs, "
+              f"{system.peak_flops / 1e15:.1f} PFLOP/s peak")
+        print()
+    return 0
+
+
+def cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core import schedule_workload, synthetic_workload_mix
+
+    system = _build_system(args.system)
+    jobs = synthetic_workload_mix(n_jobs=args.jobs, seed=args.seed,
+                                  mean_interarrival_s=args.interarrival)
+    report = schedule_workload(system, jobs)
+    print(report.summary())
+    if args.placements:
+        print("\nplacements:")
+        for alloc in report.allocations:
+            print(f"  {alloc.job_name:>20}/{alloc.phase_name:<22} -> "
+                  f"{alloc.module_key:<12} x{len(alloc.nodes):<4} "
+                  f"{alloc.duration:>12,.0f} s")
+    return 0
+
+
+def cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.distributed import DistributedTrainingPerfModel
+
+    model = DistributedTrainingPerfModel()
+    if args.tuned:
+        model = model.with_recipe(model.recipe.tuned())
+    print(f"{'GPUs':>6} {'epoch s':>9} {'speedup':>9} {'efficiency':>11}")
+    for pt in model.scaling_curve(args.gpus):
+        print(f"{pt.n_gpus:>6} {pt.epoch_time_s:>9.1f} {pt.speedup:>9.1f} "
+              f"{pt.efficiency:>11.2f}")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core import schedule_workload
+    from repro.core.batch import parse_job_script
+
+    with open(args.script) as fh:
+        job = parse_job_script(fh.read())
+    system = _build_system(args.system)
+    report = schedule_workload(system, [job])
+    print(f"job {job.name!r}: completed at "
+          f"{report.completion_times[job.name]:,.0f} s")
+    for alloc in report.allocations:
+        print(f"  {alloc.phase_name:<22} -> {alloc.module_key:<12} "
+              f"x{len(alloc.nodes)} [{alloc.start:,.0f} … {alloc.end:,.0f}] s")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    width = max(len(e[1]) for e in EXPERIMENTS)
+    for exp_id, title, bench in EXPERIMENTS:
+        print(f"{exp_id:<5} {title:<{width}}  {bench}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MSA reproduction command-line front end",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="print DEEP and JUWELS inventories"
+                   ).set_defaults(fn=cmd_systems)
+
+    p = sub.add_parser("schedule", help="run a synthetic workload mix")
+    p.add_argument("--system", default="deep", choices=("deep", "juwels"))
+    p.add_argument("--jobs", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--interarrival", type=float, default=300.0)
+    p.add_argument("--placements", action="store_true")
+    p.set_defaults(fn=cmd_schedule)
+
+    p = sub.add_parser("scaling", help="print the Fig. 3 scaling series")
+    p.add_argument("--gpus", type=int, nargs="+",
+                   default=[1, 2, 4, 8, 16, 32, 64, 96, 128])
+    p.add_argument("--tuned", action="store_true",
+                   help="use the [20]-style tuned recipe")
+    p.set_defaults(fn=cmd_scaling)
+
+    p = sub.add_parser("submit", help="schedule an #SBATCH/#PHASE script")
+    p.add_argument("script")
+    p.add_argument("--system", default="deep", choices=("deep", "juwels"))
+    p.set_defaults(fn=cmd_submit)
+
+    sub.add_parser("experiments", help="list experiments and benches"
+                   ).set_defaults(fn=cmd_experiments)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`) — exit quietly.
+        import os
+
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        os._exit(0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

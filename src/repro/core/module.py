@@ -1,0 +1,252 @@
+"""MSA modules (Fig. 1 of the paper).
+
+Each module is a parallel clustered system with its own fabric, tailored to
+a class of workloads:
+
+* **CM** — Cluster Module: fat multi-core CPUs, fast single-thread, limited
+  scalability, good memory; for computationally expensive low/medium-scale
+  codes,
+* **ESB** — Extreme Scale Booster: many-core (here: GPU-dense) nodes for
+  highly scalable regular codes, with the FPGA Global Collective Engine in
+  its fabric,
+* **DAM** — Data Analytics Module: GPU+FPGA nodes with very large
+  DDR+HBM+NVM memory for Spark-style analytics and DL,
+* **SSSM** — Scalable Storage Service Module: parallel filesystem
+  (Lustre/GPFS),
+* **NAM** — Network Attached Memory: network-shared dataset staging,
+* **QM** — Quantum Module: a quantum annealer (D-Wave-class) used as an
+  optimisation accelerator.
+
+Modules expose node inventory, a free-node allocator, a fabric cost model,
+and capability scores used by the scheduler's matchmaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.simnet.costs import CommCostModel
+from repro.simnet.link import LinkKind
+from repro.simnet.topology import Topology, fat_tree
+from repro.core.hardware import NodeSpec
+
+
+class ModuleKind(str, Enum):
+    CLUSTER = "CM"
+    BOOSTER = "ESB"
+    DATA_ANALYTICS = "DAM"
+    STORAGE = "SSSM"
+    NAM = "NAM"
+    QUANTUM = "QM"
+
+
+class AllocationError(RuntimeError):
+    """Raised when a module cannot satisfy a node request."""
+
+
+@dataclass
+class ComputeModule:
+    """A parallel clustered system: homogeneous nodes + module fabric."""
+
+    name: str
+    kind: ModuleKind
+    node_spec: NodeSpec
+    n_nodes: int
+    fabric_kind: LinkKind = LinkKind.INFINIBAND_EDR
+    fabric_radix: int = 16
+    _free: set = field(default_factory=set, repr=False)
+    _topology: Optional[Topology] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 0:
+            raise ValueError("n_nodes must be non-negative")
+        self._free = set(range(self.n_nodes))
+
+    # -- inventory -----------------------------------------------------------
+    @property
+    def total_cpu_cores(self) -> int:
+        return self.n_nodes * self.node_spec.cpu_cores
+
+    @property
+    def total_gpus(self) -> int:
+        return self.n_nodes * self.node_spec.gpu_count
+
+    @property
+    def total_fpgas(self) -> int:
+        return self.n_nodes * len(self.node_spec.fpgas)
+
+    @property
+    def total_memory_GB(self) -> float:
+        return self.n_nodes * self.node_spec.memory.total_GB
+
+    @property
+    def total_nvm_GB(self) -> float:
+        return self.n_nodes * self.node_spec.memory.nvm_GB
+
+    @property
+    def peak_flops(self) -> float:
+        return self.n_nodes * self.node_spec.peak_flops
+
+    # -- fabric ----------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        if self._topology is None:
+            self._topology = fat_tree(
+                max(self.n_nodes, 1), self.fabric_kind,
+                radix=self.fabric_radix, name=f"{self.name}-fabric",
+            )
+        return self._topology
+
+    @property
+    def cost_model(self) -> CommCostModel:
+        return CommCostModel.of_kind(self.fabric_kind)
+
+    # -- allocation ---------------------------------------------------------------
+    @property
+    def free_nodes(self) -> int:
+        return len(self._free)
+
+    @property
+    def busy_nodes(self) -> int:
+        return self.n_nodes - len(self._free)
+
+    def allocate(self, n: int) -> list[int]:
+        """Take ``n`` free nodes (lowest ids first, deterministic)."""
+        if n < 0:
+            raise ValueError("cannot allocate a negative node count")
+        if n > len(self._free):
+            raise AllocationError(
+                f"{self.name}: requested {n} nodes, only {len(self._free)} free"
+            )
+        taken = sorted(self._free)[:n]
+        self._free.difference_update(taken)
+        return taken
+
+    def release(self, nodes: list[int]) -> None:
+        for node in nodes:
+            if node in self._free:
+                raise AllocationError(f"{self.name}: node {node} released twice")
+            if not (0 <= node < self.n_nodes):
+                raise AllocationError(f"{self.name}: node {node} out of range")
+        self._free.update(nodes)
+
+    # -- capability matchmaking ------------------------------------------------------
+    def capability(self) -> dict[str, float]:
+        """Feature vector the scheduler scores phases against."""
+        spec = self.node_spec
+        return {
+            "single_thread": spec.cpu.clock_ghz,
+            "cpu_flops": spec.cpu_peak_flops,
+            "gpu_flops": spec.gpu_peak_flops,
+            "tensor_flops": spec.gpu_tensor_flops,
+            "memory_GB": spec.memory.total_GB,
+            "nvm_GB": spec.memory.nvm_GB,
+            "scalability": float(self.n_nodes),
+        }
+
+
+def ClusterModule(name: str, node_spec: NodeSpec, n_nodes: int,
+                  fabric: LinkKind = LinkKind.INFINIBAND_EDR) -> ComputeModule:
+    """The general-purpose Cluster Module (CM)."""
+    return ComputeModule(name, ModuleKind.CLUSTER, node_spec, n_nodes, fabric_kind=fabric)
+
+
+@dataclass
+class BoosterModule(ComputeModule):
+    """Extreme Scale Booster with the FPGA Global Collective Engine."""
+
+    gce_enabled: bool = True
+
+    def __init__(self, name: str, node_spec: NodeSpec, n_nodes: int,
+                 fabric: LinkKind = LinkKind.INFINIBAND_HDR,
+                 gce_enabled: bool = True) -> None:
+        super().__init__(name, ModuleKind.BOOSTER, node_spec, n_nodes, fabric_kind=fabric)
+        self.gce_enabled = gce_enabled
+
+    def gce(self):
+        """The booster fabric's Global Collective Engine model."""
+        from repro.mpi.gce import GlobalCollectiveEngine
+
+        if not self.gce_enabled:
+            raise AllocationError(f"{self.name}: GCE disabled")
+        return GlobalCollectiveEngine(self.cost_model)
+
+
+def DataAnalyticsModule(name: str, node_spec: NodeSpec, n_nodes: int,
+                        fabric: LinkKind = LinkKind.EXTOLL) -> ComputeModule:
+    """The large-memory Data Analytics Module (DAM)."""
+    return ComputeModule(name, ModuleKind.DATA_ANALYTICS, node_spec, n_nodes,
+                         fabric_kind=fabric)
+
+
+@dataclass
+class StorageModule:
+    """Scalable Storage Service Module: front-end to the parallel filesystem."""
+
+    name: str
+    capacity_PB: float
+    n_targets: int = 32                  # object storage targets (OSTs)
+    target_GBps: float = 5.0             # per-OST streaming bandwidth
+    kind: ModuleKind = ModuleKind.STORAGE
+
+    @property
+    def aggregate_GBps(self) -> float:
+        return self.n_targets * self.target_GBps
+
+    def filesystem(self, stripe_count: int = 4, stripe_MB: float = 1.0):
+        from repro.storage.pfs import ParallelFileSystem
+
+        return ParallelFileSystem(
+            name=f"{self.name}-lustre",
+            n_targets=self.n_targets,
+            target_GBps=self.target_GBps,
+            default_stripe_count=stripe_count,
+            default_stripe_MB=stripe_MB,
+        )
+
+
+@dataclass
+class NamModule:
+    """Network Attached Memory: shared dataset staging over the fabric."""
+
+    name: str
+    capacity_GB: float = 1024.0
+    read_GBps: float = 10.0
+    write_GBps: float = 8.0
+    kind: ModuleKind = ModuleKind.NAM
+
+    def device(self):
+        from repro.storage.nam import NetworkAttachedMemory
+
+        return NetworkAttachedMemory(
+            capacity_GB=self.capacity_GB,
+            read_GBps=self.read_GBps,
+            write_GBps=self.write_GBps,
+        )
+
+
+@dataclass
+class QuantumModule:
+    """Quantum Module: a quantum annealer integrated as an accelerator.
+
+    The paper reports using a D-Wave 2000Q (2000 qubits) and later the
+    Advantage system (5000 qubits, 35000 couplers) through JUNIQ.
+    """
+
+    name: str
+    n_qubits: int = 5000
+    n_couplers: int = 35000
+    topology_family: str = "pegasus"
+    kind: ModuleKind = ModuleKind.QUANTUM
+
+    def annealer(self, seed: int = 0):
+        from repro.quantum.annealer import SimulatedQuantumAnnealer
+
+        return SimulatedQuantumAnnealer(
+            n_qubits=self.n_qubits,
+            n_couplers=self.n_couplers,
+            topology_family=self.topology_family,
+            seed=seed,
+        )

@@ -1,0 +1,424 @@
+"""Heterogeneous workload scheduling onto MSA module combinations.
+
+The paper's conclusion highlights "being able to schedule heterogeneous
+workloads onto matching combinations of MSA module resources".  This module
+implements that: a discrete-event scheduler that places each job phase on
+the module minimising its estimated time-to-solution (matchmaking), with a
+strict-FCFS queue and an optional conservative backfill.
+
+Running the *same* workload mix through an MSA system and through
+homogeneous baselines (cluster-only, booster-only) regenerates the Fig. 2
+argument: the modular system wins on makespan and energy for mixed
+workloads because no single module type suits every phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.simnet.events import Simulator
+from repro.core.energy import EnergyAccountant
+from repro.core.jobs import CoAllocatedPhase, Job, JobPhase, phase_runtime
+from repro.core.module import ComputeModule, StorageModule
+from repro.core.system import MSASystem
+
+
+class SchedulerPolicy(str, Enum):
+    FCFS = "fcfs"
+    FCFS_BACKFILL = "fcfs-backfill"
+    FAIR_SHARE = "fair-share"
+
+
+class PlacementPolicy(str, Enum):
+    MATCHMAKING = "matchmaking"      # min estimated time-to-solution (MSA mode)
+    FIRST_FIT = "first-fit"          # naive: first module with free nodes
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A phase execution record."""
+
+    job_name: str
+    phase_index: int
+    phase_name: str
+    module_key: str
+    nodes: tuple[int, ...]
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def node_seconds(self) -> float:
+        return len(self.nodes) * self.duration
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of one scheduling run."""
+
+    system_name: str
+    allocations: list[Allocation]
+    completion_times: dict[str, float]
+    wait_times: dict[str, float]
+    makespan: float
+    energy_busy_joules: float
+    energy_idle_joules: float
+    module_utilisation: dict[str, float]
+
+    @property
+    def energy_total_joules(self) -> float:
+        return self.energy_busy_joules + self.energy_idle_joules
+
+    @property
+    def energy_kwh(self) -> float:
+        return self.energy_total_joules / 3.6e6
+
+    @property
+    def mean_wait(self) -> float:
+        if not self.wait_times:
+            return 0.0
+        return sum(self.wait_times.values()) / len(self.wait_times)
+
+    @property
+    def mean_turnaround(self) -> float:
+        if not self.completion_times:
+            return 0.0
+        return sum(self.completion_times.values()) / len(self.completion_times)
+
+    def summary(self) -> str:
+        rows = [
+            f"schedule on {self.system_name}:",
+            f"  jobs completed : {len(self.completion_times)}",
+            f"  makespan       : {self.makespan:,.0f} s",
+            f"  mean wait      : {self.mean_wait:,.0f} s",
+            f"  energy         : {self.energy_kwh:,.1f} kWh "
+            f"(busy {self.energy_busy_joules / 3.6e6:,.1f}, "
+            f"idle {self.energy_idle_joules / 3.6e6:,.1f})",
+        ]
+        for key, util in sorted(self.module_utilisation.items()):
+            rows.append(f"  util[{key:<12}]: {util:6.1%}")
+        return "\n".join(rows)
+
+
+@dataclass
+class _JobState:
+    job: Job
+    next_phase: int = 0
+    prev_module: Optional[str] = None
+    first_start: Optional[float] = None
+
+    @property
+    def current(self) -> JobPhase:
+        return self.job.phases[self.next_phase]
+
+    @property
+    def finished(self) -> bool:
+        return self.next_phase >= len(self.job.phases)
+
+
+class MsaScheduler:
+    """Discrete-event scheduler over an :class:`MSASystem`."""
+
+    def __init__(
+        self,
+        system: MSASystem,
+        queue_policy: SchedulerPolicy = SchedulerPolicy.FCFS_BACKFILL,
+        placement: PlacementPolicy = PlacementPolicy.MATCHMAKING,
+        patience_factor: Optional[float] = None,
+    ) -> None:
+        self.system = system
+        self.queue_policy = queue_policy
+        self.placement = placement
+        if patience_factor is not None:
+            if patience_factor < 1.0:
+                raise ValueError("patience_factor must be >= 1")
+            self.PATIENCE_FACTOR = patience_factor
+        self.sim = Simulator()
+        self.energy = EnergyAccountant()
+        self._ready: list[_JobState] = []
+        self._allocations: list[Allocation] = []
+        self._completions: dict[str, float] = {}
+        self._waits: dict[str, float] = {}
+        self._busy_node_seconds: dict[str, float] = {}
+        self._user_usage: dict[str, float] = {}
+        self._submitted = 0
+        self._io_GBps = self._storage_bandwidth()
+
+    def _storage_bandwidth(self) -> float:
+        storages = [
+            m for m in self.system.modules.values() if isinstance(m, StorageModule)
+        ]
+        if not storages:
+            return 40.0
+        return sum(s.aggregate_GBps for s in storages)
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        self._submitted += 1
+        evt = self.sim.timeout(job.arrival_time, value=job, name=f"arrive-{job.name}")
+        evt.add_callback(self._on_arrival)
+
+    def submit_all(self, jobs: list[Job]) -> None:
+        for job in jobs:
+            self.submit(job)
+
+    # -- event handlers --------------------------------------------------------
+    def _on_arrival(self, evt) -> None:
+        self._ready.append(_JobState(job=evt.value))
+        self._dispatch()
+
+    def _on_phase_done(self, evt) -> None:
+        state, placements = evt.value
+        for module_key, nodes in placements:
+            self.system.module(module_key).release(list(nodes))
+        state.prev_module = placements[-1][0]
+        state.next_phase += 1
+        if state.finished:
+            self._completions[state.job.name] = self.sim.now
+        else:
+            # Running jobs continue ahead of newly queued ones.
+            self._ready.insert(0, state)
+        self._dispatch()
+
+    # -- placement -----------------------------------------------------------------
+    def _candidates(self, phase: JobPhase) -> list[tuple[str, ComputeModule, int]]:
+        out = []
+        for key, module in self.system.compute_modules().items():
+            if module.n_nodes == 0:
+                continue
+            n_alloc = min(phase.nodes, module.n_nodes)
+            out.append((key, module, n_alloc))
+        return out
+
+    def _score(self, state: _JobState, key: str, module: ComputeModule, n: int) -> float:
+        phase = state.current
+        t = phase_runtime(phase, module, n, io_GBps=self._io_GBps)
+        if state.prev_module is not None and state.prev_module != key:
+            t += self.system.inter_module_transfer_time(
+                state.prev_module, key, phase.io_bytes
+            )
+        return t
+
+    #: A queued phase refuses a feasible-now module whose estimated runtime
+    #: exceeds this multiple of the best module's — it waits instead.
+    PATIENCE_FACTOR = 3.0
+
+    def _choose(self, state: _JobState) -> Optional[tuple[str, ComputeModule, int, float]]:
+        """Best feasible placement now, or None to keep waiting."""
+        phase = state.current
+        candidates = self._candidates(phase)
+        feasible = [
+            (key, module, n)
+            for key, module, n in candidates
+            if module.free_nodes >= n
+        ]
+        if not feasible:
+            return None
+        if self.placement is PlacementPolicy.FIRST_FIT:
+            key, module, n = sorted(feasible, key=lambda c: c[0])[0]
+            return key, module, n, self._score(state, key, module, n)
+        scored = [
+            (self._score(state, key, module, n), key, module, n)
+            for key, module, n in feasible
+        ]
+        scored.sort(key=lambda s: (s[0], s[1]))
+        t, key, module, n = scored[0]
+        # Matchmaking with patience: starting now on a badly-matching module
+        # (e.g. DL training on a CPU-only cluster) can be orders of magnitude
+        # worse than queueing for the matching one.
+        best_anywhere = min(
+            self._score(state, k, m, na) for k, m, na in candidates
+        )
+        if t > self.PATIENCE_FACTOR * best_anywhere:
+            return None
+        return key, module, n, t
+
+    def _blocked_modules(self, state: _JobState) -> set[str]:
+        """Modules the queue head is waiting on (backfill must not raid them)."""
+        phase = state.current
+        best_key = None
+        best_t = float("inf")
+        for key, module, n in self._candidates(phase):
+            t = self._score(state, key, module, n)
+            if t < best_t:
+                best_t, best_key = t, key
+        return {best_key} if best_key is not None else set()
+
+    # -- co-allocation (multi-module phases) --------------------------------
+    def _choose_coalloc(
+        self, state: _JobState
+    ) -> Optional[list[tuple[str, ComputeModule, int, float, JobPhase]]]:
+        """Greedy per-component placement; all-or-nothing."""
+        phase: CoAllocatedPhase = state.current
+        taken: dict[str, int] = {}
+        plan = []
+        for component in phase.components:
+            best = None
+            best_anywhere = float("inf")
+            for key, module, n in self._candidates(component):
+                t = phase_runtime(component, module, n,
+                                  io_GBps=self._io_GBps)
+                best_anywhere = min(best_anywhere, t)
+                if module.free_nodes - taken.get(key, 0) < n:
+                    continue
+                if best is None or t < best[0]:
+                    best = (t, key, module, n)
+            # All-or-nothing, with the same patience rule as single-module
+            # phases: a component refuses a badly-matching module and the
+            # whole co-allocation waits.
+            if best is None or best[0] > self.PATIENCE_FACTOR * best_anywhere:
+                return None
+            t, key, module, n = best
+            taken[key] = taken.get(key, 0) + n
+            plan.append((key, module, n, t, component))
+        return plan
+
+    def _start_coalloc(self, state: _JobState) -> bool:
+        plan = self._choose_coalloc(state)
+        if plan is None:
+            return False
+        phase: CoAllocatedPhase = state.current
+        start = self.sim.now
+        # The co-allocation completes when the slowest component does, plus
+        # the coupling traffic crossing the federation.
+        coupling = 0.0
+        modules_used = {key for key, *_ in plan}
+        if phase.coupling_bytes > 0 and len(modules_used) > 1:
+            a, b = sorted(modules_used)[:2]
+            coupling = self.system.inter_module_transfer_time(
+                a, b, phase.coupling_bytes)
+        runtime = max(t for _, _, _, t, _ in plan) + coupling
+        placements = []
+        if state.first_start is None:
+            state.first_start = start
+            self._waits[state.job.name] = start - state.job.arrival_time
+        for key, module, n, _, component in plan:
+            nodes = tuple(module.allocate(n))
+            placements.append((key, nodes))
+            alloc = Allocation(
+                job_name=state.job.name,
+                phase_index=state.next_phase,
+                phase_name=f"{phase.name}/{component.name}",
+                module_key=key,
+                nodes=nodes,
+                start=start,
+                end=start + runtime,
+            )
+            self._allocations.append(alloc)
+            self._busy_node_seconds[key] = (
+                self._busy_node_seconds.get(key, 0.0) + alloc.node_seconds)
+            self._user_usage[state.job.user] = (
+                self._user_usage.get(state.job.user, 0.0)
+                + alloc.node_seconds)
+            self.energy.charge_phase(key, module.node_spec, component, n,
+                                     runtime)
+        done = self.sim.timeout(runtime, value=(state, placements),
+                                name=f"done-{state.job.name}")
+        done.add_callback(self._on_phase_done)
+        return True
+
+    def _dispatch(self) -> None:
+        if self.queue_policy is SchedulerPolicy.FAIR_SHARE:
+            # Least-consuming community first (stable: arrival order is
+            # preserved within a community) — how a multi-community centre
+            # keeps any one domain from monopolising the modules.
+            self._ready.sort(
+                key=lambda s: self._user_usage.get(s.job.user, 0.0))
+        blocked: set[str] = set()
+        i = 0
+        while i < len(self._ready):
+            state = self._ready[i]
+            if isinstance(state.current, CoAllocatedPhase):
+                if self._start_coalloc(state):
+                    self._ready.pop(i)
+                    continue
+                if self.queue_policy is SchedulerPolicy.FCFS:
+                    break
+                i += 1
+                continue
+            choice = self._choose(state)
+            usable = choice is not None and choice[0] not in blocked
+            if usable:
+                key, module, n, runtime = choice
+                nodes = tuple(module.allocate(n))
+                start = self.sim.now
+                end = start + runtime
+                if state.first_start is None:
+                    state.first_start = start
+                    self._waits[state.job.name] = start - state.job.arrival_time
+                alloc = Allocation(
+                    job_name=state.job.name,
+                    phase_index=state.next_phase,
+                    phase_name=state.current.name,
+                    module_key=key,
+                    nodes=nodes,
+                    start=start,
+                    end=end,
+                )
+                self._allocations.append(alloc)
+                self._busy_node_seconds[key] = (
+                    self._busy_node_seconds.get(key, 0.0) + alloc.node_seconds
+                )
+                self._user_usage[state.job.user] = (
+                    self._user_usage.get(state.job.user, 0.0)
+                    + alloc.node_seconds
+                )
+                self.energy.charge_phase(
+                    key, module.node_spec, state.current, n, runtime
+                )
+                done = self.sim.timeout(
+                    runtime, value=(state, [(key, nodes)]),
+                    name=f"done-{state.job.name}"
+                )
+                done.add_callback(self._on_phase_done)
+                self._ready.pop(i)
+                continue  # same index now holds the next job
+            # Head job cannot start: strict FCFS stops; backfill walks on but
+            # must not take nodes from the module the head is waiting for.
+            if self.queue_policy is SchedulerPolicy.FCFS:
+                break
+            blocked |= self._blocked_modules(state)
+            i += 1
+
+    # -- execution ------------------------------------------------------------------
+    def run(self) -> ScheduleReport:
+        """Run the event loop to completion and produce the report."""
+        self.sim.run()
+        if len(self._completions) != self._submitted:
+            missing = self._submitted - len(self._completions)
+            raise RuntimeError(f"{missing} jobs never completed — scheduler stuck")
+        makespan = max(self._completions.values(), default=0.0)
+        utilisation: dict[str, float] = {}
+        for key, module in self.system.compute_modules().items():
+            busy = self._busy_node_seconds.get(key, 0.0)
+            total = module.n_nodes * makespan
+            utilisation[key] = busy / total if total > 0 else 0.0
+            idle_node_seconds = max(total - busy, 0.0)
+            self.energy.charge_idle(key, module.node_spec, idle_node_seconds)
+        return ScheduleReport(
+            system_name=self.system.name,
+            allocations=list(self._allocations),
+            completion_times=dict(self._completions),
+            wait_times=dict(self._waits),
+            makespan=makespan,
+            energy_busy_joules=self.energy.busy_joules,
+            energy_idle_joules=self.energy.idle_joules,
+            module_utilisation=utilisation,
+        )
+
+
+def schedule_workload(
+    system: MSASystem,
+    jobs: list[Job],
+    queue_policy: SchedulerPolicy = SchedulerPolicy.FCFS_BACKFILL,
+    placement: PlacementPolicy = PlacementPolicy.MATCHMAKING,
+) -> ScheduleReport:
+    """Convenience wrapper: submit ``jobs`` to ``system`` and run."""
+    sched = MsaScheduler(system, queue_policy=queue_policy, placement=placement)
+    sched.submit_all(jobs)
+    return sched.run()

@@ -1,0 +1,198 @@
+"""DeepSpeed-ZeRO-style optimiser state sharding (stage 1).
+
+The paper names DeepSpeed as the "more recent" distributed-training tool
+(Sec. III-A).  Its core memory innovation, ZeRO, partitions redundant
+training state across data-parallel ranks.  Stage 1 shards the *optimiser
+state* (Adam's m/v moments): each rank keeps moments only for its parameter
+shard, applies the update there, and the updated shard is allgathered so
+every replica ends the step with identical weights.
+
+Observable properties reproduced (and asserted in tests):
+
+* per-rank optimiser-state memory ≈ 1/p of the unsharded optimiser,
+* final weights equal plain data-parallel Adam's, bit-for-bit in exact
+  arithmetic (float64 here).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.mpi.comm import Communicator, ReduceOp
+from repro.ml.layers import Parameter
+
+
+class ZeroStage1Optimizer:
+    """Adam with optimiser state sharded across data-parallel ranks."""
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        comm: Communicator,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("need at least one parameter")
+        self.comm = comm
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+
+        # Shard boundaries over the fused parameter vector.
+        self.total_elements = sum(p.size for p in self.params)
+        bounds = np.linspace(0, self.total_elements, comm.size + 1).astype(np.int64)
+        self.shard_bounds = [(int(bounds[i]), int(bounds[i + 1]))
+                             for i in range(comm.size)]
+        lo, hi = self.shard_bounds[comm.rank]
+        self._lo, self._hi = lo, hi
+        # Moments exist ONLY for this rank's shard — the ZeRO saving.
+        self._m = np.zeros(hi - lo)
+        self._v = np.zeros(hi - lo)
+
+    # -- memory accounting (the ZeRO claim) ---------------------------------
+    @property
+    def local_state_bytes(self) -> int:
+        return int(self._m.nbytes + self._v.nbytes)
+
+    @property
+    def unsharded_state_bytes(self) -> int:
+        return int(2 * self.total_elements * 8)
+
+    @property
+    def memory_saving_factor(self) -> float:
+        if self.local_state_bytes == 0:
+            return float(self.comm.size)
+        return self.unsharded_state_bytes / (self.local_state_bytes or 1)
+
+    # -- the training step ------------------------------------------------------
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def _fused_grad(self) -> np.ndarray:
+        chunks = []
+        for p in self.params:
+            g = p.grad if p.grad is not None else np.zeros_like(p.data)
+            chunks.append(np.asarray(g, dtype=np.float64).ravel())
+        return np.concatenate(chunks)
+
+    def _fused_param(self) -> np.ndarray:
+        return np.concatenate([p.data.ravel() for p in self.params])
+
+    def _write_back(self, fused: np.ndarray) -> None:
+        offset = 0
+        for p in self.params:
+            n = p.size
+            p.data[...] = fused[offset:offset + n].reshape(p.data.shape)
+            offset += n
+
+    def step(self) -> None:
+        """Average gradients, update the local shard, allgather weights."""
+        self._step_count += 1
+        grad = self._fused_grad()
+        if self.comm.size > 1:
+            grad = self.comm.allreduce(grad, op=ReduceOp.SUM) / self.comm.size
+
+        lo, hi = self._lo, self._hi
+        g = grad[lo:hi]
+        theta = self._fused_param()[lo:hi]
+        if self.weight_decay:
+            g = g + self.weight_decay * theta
+
+        t = self._step_count
+        self._m *= self.beta1
+        self._m += (1 - self.beta1) * g
+        self._v *= self.beta2
+        self._v += (1 - self.beta2) * g ** 2
+        m_hat = self._m / (1 - self.beta1 ** t)
+        v_hat = self._v / (1 - self.beta2 ** t)
+        theta = theta - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+        if self.comm.size > 1:
+            shards = self.comm.allgather(theta)
+            fused = np.concatenate(shards)
+        else:
+            fused = theta
+        if fused.shape[0] != self.total_elements:
+            raise RuntimeError("shard reassembly size mismatch")
+        self._write_back(fused)
+
+    @property
+    def step_count(self) -> int:
+        return self._step_count
+
+
+class ZeroStage2Optimizer(ZeroStage1Optimizer):
+    """ZeRO stage 2: gradients *and* optimiser state sharded.
+
+    Instead of allreducing the full fused gradient, the step reduce-scatters
+    it: each rank materialises only its fully-reduced gradient shard
+    (~1/p of the gradient memory), updates its parameter shard, and the
+    updated shards are allgathered.  Numerically identical to stage 1 and
+    plain data-parallel Adam (asserted in tests); communication volume per
+    step is the same 2·n·(p-1)/p bytes a ring allreduce moves.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Stage 2 shards along the ring reduce-scatter's chunk boundaries,
+        # which differ from stage 1's contiguous split: chunk (rank+1)%p.
+        self.peak_grad_shard_bytes = 0
+
+    def step(self) -> None:
+        self._step_count += 1
+        grad = self._fused_grad()
+        if self.comm.size > 1:
+            shard, (lo, hi) = self.comm.reduce_scatter(grad)
+            shard = shard / self.comm.size
+        else:
+            shard, (lo, hi) = grad, (0, self.total_elements)
+        self.peak_grad_shard_bytes = max(self.peak_grad_shard_bytes,
+                                         int(shard.nbytes))
+        # Moments are lazily (re)sized to the reduce-scatter's shard.
+        if self._m.shape[0] != hi - lo:
+            self._m = np.zeros(hi - lo)
+            self._v = np.zeros(hi - lo)
+        self._lo, self._hi = lo, hi
+
+        theta = self._fused_param()[lo:hi]
+        g = shard
+        if self.weight_decay:
+            g = g + self.weight_decay * theta
+        t = self._step_count
+        self._m *= self.beta1
+        self._m += (1 - self.beta1) * g
+        self._v *= self.beta2
+        self._v += (1 - self.beta2) * g ** 2
+        m_hat = self._m / (1 - self.beta1 ** t)
+        v_hat = self._v / (1 - self.beta2 ** t)
+        theta = theta - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+        if self.comm.size > 1:
+            pieces = self.comm.allgather((lo, theta))
+            fused = np.empty(self.total_elements)
+            covered = 0
+            for plo, chunk in pieces:
+                fused[plo:plo + chunk.shape[0]] = chunk
+                covered += chunk.shape[0]
+            if covered != self.total_elements:
+                raise RuntimeError("stage-2 shard reassembly mismatch")
+        else:
+            fused = theta
+        self._write_back(fused)
+
+    @property
+    def grad_memory_saving_factor(self) -> float:
+        """Full fused gradient bytes / this rank's shard bytes."""
+        full = self.total_elements * 8
+        return full / max(self.peak_grad_shard_bytes, 1)

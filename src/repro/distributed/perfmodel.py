@@ -1,0 +1,171 @@
+"""Analytic performance model for the Fig. 3 scaling study (E3).
+
+The paper reports that Horovod distributed training of a RESNET-50-class
+CNN on BigEarthNet "indicates a significant speed-up of training time
+without loosing accuracy", initially on 96 GPUs and — after tuning per
+Sedona et al. [20] — with "even a better speed-up ... using 128
+interconnected GPUs".
+
+This model composes what the rest of the library provides:
+
+* per-step compute time from GPU specs (tensor-core throughput, achievable
+  efficiency),
+* allreduce time from the α-β collective models of the booster fabric,
+* optional gradient compression (halves wire bytes) and compute/comm
+  overlap — the [20]-style tuning that lifts the 128-GPU point.
+
+It yields per-GPU-count epoch times, speedups and parallel efficiencies —
+the series Fig. 3 plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.hardware import GpuSpec, NVIDIA_A100
+from repro.simnet.costs import CollectiveCosts, CommCostModel
+from repro.simnet.link import LinkKind
+from repro.ml.models.resnet import ResNetShape, resnet50_config
+
+
+@dataclass(frozen=True)
+class TrainingRecipe:
+    """Tunables of a distributed training run."""
+
+    batch_per_gpu: int = 128
+    #: Sustained fraction of tensor-core peak a real ResNet-50 step achieves
+    #: (mixed-precision ResNet-50 reaches ~5–10% of A100 tensor peak).
+    compute_efficiency: float = 0.08
+    #: Bytes per gradient element on the wire (4 = fp32, 2 = fp16 compressed).
+    grad_wire_bytes: int = 4
+    #: Fraction of allreduce hidden behind backprop (Horovod overlaps
+    #: per-layer reductions with remaining backward compute).
+    comm_overlap: float = 0.0
+    #: Backward pass costs ~2x forward.
+    backward_factor: float = 2.0
+    allreduce_algorithm: str = "ring"
+
+    def tuned(self) -> "TrainingRecipe":
+        """The [20]-style tuned recipe: fp16 wire + aggressive overlap."""
+        return TrainingRecipe(
+            batch_per_gpu=self.batch_per_gpu,
+            compute_efficiency=self.compute_efficiency,
+            grad_wire_bytes=2,
+            comm_overlap=0.8,
+            backward_factor=self.backward_factor,
+            allreduce_algorithm="auto",
+        )
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One row of the Fig. 3 scaling table."""
+
+    n_gpus: int
+    step_time_s: float
+    epoch_time_s: float
+    speedup: float
+    efficiency: float
+    comm_fraction: float
+
+
+@dataclass
+class DistributedTrainingPerfModel:
+    """Epoch-time model for data-parallel training on an MSA booster."""
+
+    model_shape: ResNetShape = field(default_factory=resnet50_config)
+    gpu: GpuSpec = NVIDIA_A100
+    fabric: CommCostModel = field(
+        default_factory=lambda: CommCostModel.of_kind(LinkKind.INFINIBAND_HDR))
+    dataset_size: int = 269_695          # BigEarthNet train split of [18]
+    recipe: TrainingRecipe = field(default_factory=TrainingRecipe)
+    #: Optional ESB Global Collective Engine: when set, gradient allreduces
+    #: are offloaded to the in-network FPGA tree instead of the software
+    #: ring (the booster's headline fabric feature).
+    gce: Optional["GlobalCollectiveEngine"] = None
+
+    # -- components ----------------------------------------------------------
+    def compute_time_per_step(self) -> float:
+        """Forward+backward time for one local mini-batch on one GPU."""
+        flops = (
+            self.model_shape.flops_per_sample
+            * self.recipe.batch_per_gpu
+            * (1.0 + self.recipe.backward_factor)
+        )
+        sustained = self.gpu.tensor_flops * self.recipe.compute_efficiency
+        return flops / sustained
+
+    def grad_bytes(self) -> float:
+        return self.model_shape.n_parameters * self.recipe.grad_wire_bytes
+
+    def allreduce_time(self, n_gpus: int) -> float:
+        if n_gpus <= 1:
+            return 0.0
+        if self.gce is not None:
+            return self.gce.allreduce_time(n_gpus, self.grad_bytes())
+        costs = CollectiveCosts(self.fabric)
+        return costs.allreduce(
+            n_gpus, self.grad_bytes(), algorithm=self.recipe.allreduce_algorithm
+        )
+
+    def step_time(self, n_gpus: int) -> float:
+        compute = self.compute_time_per_step()
+        comm = self.allreduce_time(n_gpus)
+        exposed = comm * (1.0 - self.recipe.comm_overlap)
+        hidden = comm * self.recipe.comm_overlap
+        backward = compute * self.recipe.backward_factor / (
+            1.0 + self.recipe.backward_factor)
+        # Hidden communication can only hide under the backward pass.
+        return compute + exposed + max(0.0, hidden - backward)
+
+    def steps_per_epoch(self, n_gpus: int) -> int:
+        global_batch = self.recipe.batch_per_gpu * n_gpus
+        return max(1, math.ceil(self.dataset_size / global_batch))
+
+    def epoch_time(self, n_gpus: int) -> float:
+        return self.steps_per_epoch(n_gpus) * self.step_time(n_gpus)
+
+    # -- the Fig. 3 series ------------------------------------------------------
+    def scaling_curve(self, gpu_counts: Sequence[int]) -> list[ScalingPoint]:
+        if not gpu_counts:
+            raise ValueError("need at least one GPU count")
+        base = self.epoch_time(1)
+        points = []
+        for p in gpu_counts:
+            if p < 1:
+                raise ValueError("GPU counts must be >= 1")
+            step = self.step_time(p)
+            epoch = self.epoch_time(p)
+            comm = self.allreduce_time(p) * (1.0 - self.recipe.comm_overlap)
+            points.append(ScalingPoint(
+                n_gpus=p,
+                step_time_s=step,
+                epoch_time_s=epoch,
+                speedup=base / epoch,
+                efficiency=base / epoch / p,
+                comm_fraction=min(1.0, comm / step) if step > 0 else 0.0,
+            ))
+        return points
+
+    def with_recipe(self, recipe: TrainingRecipe) -> "DistributedTrainingPerfModel":
+        return DistributedTrainingPerfModel(
+            model_shape=self.model_shape,
+            gpu=self.gpu,
+            fabric=self.fabric,
+            dataset_size=self.dataset_size,
+            recipe=recipe,
+            gce=self.gce,
+        )
+
+    def with_gce(self, gce) -> "DistributedTrainingPerfModel":
+        """Clone with gradient allreduces offloaded to the GCE."""
+        return DistributedTrainingPerfModel(
+            model_shape=self.model_shape,
+            gpu=self.gpu,
+            fabric=self.fabric,
+            dataset_size=self.dataset_size,
+            recipe=self.recipe,
+            gce=gce,
+        )

@@ -1,0 +1,98 @@
+"""Horovod-style timeline: per-operation traces of distributed training.
+
+Horovod ships a timeline tool (``HOROVOD_TIMELINE``) that records each
+collective's lifetime for Chrome's ``chrome://tracing`` viewer — the
+instrument behind tuning work like the paper's [20].  This module records
+the same kind of events against the simulated clock and exports the Chrome
+trace-event JSON structure, so a training run's comms/compute interleaving
+can be inspected (or asserted on, as the tests do).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.mpi.comm import Communicator
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    name: str               # e.g. "allreduce", "forward", "optimizer-step"
+    category: str           # "comm" | "compute" | "io"
+    rank: int
+    start_s: float          # simulated time
+    duration_s: float
+    nbytes: int = 0
+
+    def to_chrome(self) -> dict[str, Any]:
+        """One Chrome trace-event ('X' complete event, µs granularity)."""
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "ph": "X",
+            "pid": 0,
+            "tid": self.rank,
+            "ts": self.start_s * 1e6,
+            "dur": self.duration_s * 1e6,
+            "args": {"nbytes": self.nbytes},
+        }
+
+
+class Timeline:
+    """Event recorder bound to one rank's communicator."""
+
+    def __init__(self, comm: Communicator) -> None:
+        self.comm = comm
+        self.events: list[TimelineEvent] = []
+
+    # -- recording -----------------------------------------------------------
+    def record(self, name: str, category: str, fn, *args,
+               nbytes: int = 0, **kwargs):
+        """Run ``fn`` and record its simulated-clock span."""
+        start = self.comm.sim_time
+        result = fn(*args, **kwargs)
+        self.events.append(TimelineEvent(
+            name=name, category=category, rank=self.comm.rank,
+            start_s=start, duration_s=self.comm.sim_time - start,
+            nbytes=nbytes))
+        return result
+
+    def mark_compute(self, name: str, seconds: float) -> None:
+        """Charge modelled compute and record it."""
+        start = self.comm.sim_time
+        self.comm.compute(seconds)
+        self.events.append(TimelineEvent(
+            name=name, category="compute", rank=self.comm.rank,
+            start_s=start, duration_s=seconds))
+
+    # -- analysis --------------------------------------------------------------
+    def total(self, category: str) -> float:
+        return sum(e.duration_s for e in self.events
+                   if e.category == category)
+
+    def comm_fraction(self) -> float:
+        comm = self.total("comm")
+        busy = comm + self.total("compute") + self.total("io")
+        return comm / busy if busy > 0 else 0.0
+
+    def by_name(self, name: str) -> list[TimelineEvent]:
+        return [e for e in self.events if e.name == name]
+
+    # -- export ---------------------------------------------------------------------
+    def to_chrome_trace(self) -> dict[str, Any]:
+        return {"traceEvents": [e.to_chrome() for e in self.events],
+                "displayTimeUnit": "ms"}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_chrome_trace())
+
+
+def merge_timelines(timelines: list[Timeline]) -> dict[str, Any]:
+    """Combine per-rank timelines into one Chrome trace."""
+    events: list[dict[str, Any]] = []
+    for timeline in timelines:
+        events.extend(e.to_chrome() for e in timeline.events)
+    events.sort(key=lambda e: (e["ts"], e["tid"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

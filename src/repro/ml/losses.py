@@ -1,0 +1,72 @@
+"""Loss functions for the case-study models.
+
+* cross-entropy with logits (multi-class: land-cover, COVID-Net),
+* binary cross-entropy with logits (multi-label: BigEarthNet-style),
+* MAE — the ARDS GRU's loss (paper Sec. IV-B),
+* MSE — autoencoder reconstruction,
+* optional masking so imputation losses only score observed entries.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.functional import log_softmax, one_hot
+from repro.ml.tensor import Tensor
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean softmax cross-entropy; ``labels`` are integer class ids."""
+    n, n_classes = logits.shape
+    targets = Tensor(one_hot(np.asarray(labels), n_classes))
+    logp = log_softmax(logits, axis=-1)
+    return -(targets * logp).sum() * (1.0 / n)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean element-wise BCE for multi-label targets in {0,1}.
+
+    Uses the numerically stable form
+    ``max(x,0) - x·y + log(1 + exp(-|x|))``.
+    """
+    y = Tensor(np.asarray(targets, dtype=np.float64))
+    x = logits
+    relu_x = x.relu()
+    abs_x = x.abs()
+    loss = relu_x - x * y + (1.0 + (-abs_x).exp()).log()
+    return loss.mean()
+
+
+def mse(pred: Tensor, target: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Mean squared error, optionally masked to observed entries."""
+    t = Tensor(np.asarray(target, dtype=np.float64))
+    sq = (pred - t) ** 2
+    if mask is None:
+        return sq.mean()
+    m = np.asarray(mask, dtype=np.float64)
+    denom = max(m.sum(), 1.0)
+    return (sq * Tensor(m)).sum() * (1.0 / denom)
+
+
+def mae(pred: Tensor, target: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
+    """Mean absolute error — the ARDS GRU's training loss."""
+    t = Tensor(np.asarray(target, dtype=np.float64))
+    err = (pred - t).abs()
+    if mask is None:
+        return err.mean()
+    m = np.asarray(mask, dtype=np.float64)
+    denom = max(m.sum(), 1.0)
+    return (err * Tensor(m)).sum() * (1.0 / denom)
+
+
+def l2_regularisation(params, coeff: float) -> Tensor:
+    """Kernel/recurrent regularisation term (paper's GRU uses both)."""
+    total = None
+    for p in params:
+        term = (p ** 2).sum()
+        total = term if total is None else total + term
+    if total is None:
+        return Tensor(0.0)
+    return total * coeff

@@ -1,0 +1,96 @@
+"""Evaluation metrics for the case studies.
+
+Classification (accuracy, confusion matrix, precision/recall/F1 — COVID-Net
+and land-cover), multi-label (subset accuracy, micro-F1 — BigEarthNet-style),
+and regression (MAE/RMSE/R² — ARDS imputation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(pred_labels: np.ndarray, true_labels: np.ndarray) -> float:
+    pred_labels = np.asarray(pred_labels)
+    true_labels = np.asarray(true_labels)
+    if pred_labels.shape != true_labels.shape:
+        raise ValueError("shape mismatch")
+    if pred_labels.size == 0:
+        raise ValueError("empty predictions")
+    return float((pred_labels == true_labels).mean())
+
+
+def confusion_matrix(pred: np.ndarray, true: np.ndarray, n_classes: int) -> np.ndarray:
+    pred = np.asarray(pred, dtype=np.int64)
+    true = np.asarray(true, dtype=np.int64)
+    cm = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(cm, (true, pred), 1)
+    return cm
+
+
+def precision_recall_f1(
+    pred: np.ndarray, true: np.ndarray, n_classes: int
+) -> dict[str, np.ndarray]:
+    """Per-class precision/recall/F1 (zero-safe)."""
+    cm = confusion_matrix(pred, true, n_classes)
+    tp = np.diag(cm).astype(np.float64)
+    pred_pos = cm.sum(axis=0).astype(np.float64)
+    actual_pos = cm.sum(axis=1).astype(np.float64)
+    precision = np.divide(tp, pred_pos, out=np.zeros_like(tp), where=pred_pos > 0)
+    recall = np.divide(tp, actual_pos, out=np.zeros_like(tp), where=actual_pos > 0)
+    denom = precision + recall
+    f1 = np.divide(2 * precision * recall, denom,
+                   out=np.zeros_like(tp), where=denom > 0)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def multilabel_micro_f1(pred: np.ndarray, true: np.ndarray,
+                        threshold: float = 0.5) -> float:
+    """Micro-averaged F1 over binary label matrices (or probabilities)."""
+    p = (np.asarray(pred) >= threshold).astype(np.int64)
+    t = np.asarray(true).astype(np.int64)
+    tp = int(((p == 1) & (t == 1)).sum())
+    fp = int(((p == 1) & (t == 0)).sum())
+    fn = int(((p == 0) & (t == 1)).sum())
+    denom = 2 * tp + fp + fn
+    return 2 * tp / denom if denom > 0 else 0.0
+
+
+def subset_accuracy(pred: np.ndarray, true: np.ndarray,
+                    threshold: float = 0.5) -> float:
+    """Exact-match accuracy for multi-label predictions."""
+    p = (np.asarray(pred) >= threshold).astype(np.int64)
+    t = np.asarray(true).astype(np.int64)
+    return float((p == t).all(axis=1).mean())
+
+
+def mae_score(pred: np.ndarray, true: np.ndarray,
+              mask: np.ndarray | None = None) -> float:
+    err = np.abs(np.asarray(pred) - np.asarray(true))
+    if mask is not None:
+        m = np.asarray(mask, dtype=bool)
+        if not m.any():
+            raise ValueError("mask selects no entries")
+        err = err[m]
+    return float(err.mean())
+
+
+def rmse_score(pred: np.ndarray, true: np.ndarray,
+               mask: np.ndarray | None = None) -> float:
+    sq = (np.asarray(pred) - np.asarray(true)) ** 2
+    if mask is not None:
+        m = np.asarray(mask, dtype=bool)
+        if not m.any():
+            raise ValueError("mask selects no entries")
+        sq = sq[m]
+    return float(np.sqrt(sq.mean()))
+
+
+def r2_score(pred: np.ndarray, true: np.ndarray) -> float:
+    true = np.asarray(true, dtype=np.float64)
+    pred = np.asarray(pred, dtype=np.float64)
+    ss_res = float(((true - pred) ** 2).sum())
+    ss_tot = float(((true - true.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,106 @@
+"""COVID-Net-style chest-X-ray classifier (Wang et al. [25], Sec. IV-A).
+
+COVID-Net is a tailored CNN detecting COVID-19 from CXR images with three
+classes (normal / non-COVID pneumonia / COVID-19).  The original uses
+lightweight PEPX (projection-expansion-projection-extension) blocks; we
+implement that block family at a laptop-trainable scale — the experiments
+need its class structure and its relative runtime across GPU generations,
+not 480×480 resolution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml import functional as F
+from repro.ml.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+    Module,
+)
+from repro.ml.tensor import Tensor
+
+#: COVID-Net's output classes, in the COVIDx convention.
+COVIDNET_CLASSES = ("normal", "pneumonia", "covid19")
+
+
+class PepxBlock(Module):
+    """Projection → expansion → depthwise-ish 3×3 → projection → extension.
+
+    The 'design pattern' of COVID-Net: squeeze channels with 1×1 convs
+    around a cheap 3×3 to keep parameter counts low.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        mid = max(in_channels // 2, 4)
+        self.proj1 = Conv2D(in_channels, mid, 1, rng=rng, bias=False)
+        self.expand = Conv2D(mid, mid * 2, 1, rng=rng, bias=False)
+        self.conv = Conv2D(mid * 2, mid * 2, 3, padding=1, rng=rng, bias=False)
+        self.proj2 = Conv2D(mid * 2, mid, 1, rng=rng, bias=False)
+        self.extend = Conv2D(mid, out_channels, 1, rng=rng, bias=False)
+        self.bn = BatchNorm(out_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.proj1(x).relu()
+        out = self.expand(out).relu()
+        out = self.conv(out).relu()
+        out = self.proj2(out).relu()
+        return self.bn(self.extend(out)).relu()
+
+
+class CovidNet(Module):
+    """A COVID-Net-style classifier over (N, 1, H, W) radiographs."""
+
+    def __init__(self, n_classes: int = 3, base_width: int = 16,
+                 n_blocks: int = 3, seed: int = 0) -> None:
+        super().__init__()
+        if n_blocks < 1:
+            raise ValueError("need at least one PEPX block")
+        rng = np.random.default_rng(seed)
+        self.stem = Conv2D(1, base_width, 5, stride=2, padding=2,
+                           rng=rng, bias=False)
+        self.stem_bn = BatchNorm(base_width)
+        blocks: list[Module] = []
+        channels = base_width
+        for i in range(n_blocks):
+            out_channels = base_width * (2 ** min(i, 2))
+            blocks.append(PepxBlock(channels, out_channels, rng=rng))
+            channels = out_channels
+        self.blocks = blocks
+        self.pool = GlobalAvgPool2D()
+        self.fc1 = Dense(channels, 32, rng=rng)
+        self.fc2 = Dense(32, n_classes, rng=rng)
+        self.n_classes = n_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        for i, block in enumerate(self.blocks):
+            out = block(out)
+            if i < len(self.blocks) - 1:
+                out = F.max_pool2d(out, 2)
+        out = self.pool(out)
+        out = self.fc1(out).relu()
+        return self.fc2(out)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        logits = self.forward(Tensor(x))
+        if was_training:
+            self.train()
+        return logits.data.argmax(axis=1)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        probs = F.softmax(self.forward(Tensor(x)), axis=-1).data
+        if was_training:
+            self.train()
+        return probs

@@ -1,0 +1,140 @@
+"""GRU-D: recurrent imputation with learned decay (Che et al., ref [39]).
+
+The paper's related work singles out GRU-D: a GRU whose inputs carry
+explicit missingness information — for each channel, a **mask** (observed
+or not) and the **time since the last observation** — and which decays both
+the last observed input value toward the channel's empirical mean and the
+hidden state toward zero, with *learned* decay rates:
+
+.. math::
+    γ_t = exp(-max(0, W_γ δ_t + b_γ)) \\
+    hat-x_t = m_t ⊙ x_t + (1 - m_t) ⊙ (γ^x_t x_{last} + (1-γ^x_t) mean(x)) \\
+    h_{t-1} ← γ^h_t ⊙ h_{t-1}
+
+exploiting the physiology the paper mentions (homeostasis: unobserved
+vitals drift back toward their set-points).  This implementation follows
+the original formulation at laptop scale and plugs into the same training
+loop as :class:`~repro.ml.models.gru_forecaster.GruForecaster`, reading
+(values, mask, delta) triples produced by
+:func:`make_grud_inputs`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.layers import Dense, Module, Parameter, xavier_init
+from repro.ml.tensor import Tensor
+
+
+class GruDCell(Module):
+    """One GRU-D step over (x_t, m_t, δ_t)."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 channel_means: np.ndarray,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if channel_means.shape != (input_size,):
+            raise ValueError("channel_means must have one entry per input")
+        d, h = input_size, hidden_size
+        self.input_size = d
+        self.hidden_size = h
+        self._buffers["channel_means"] = np.asarray(channel_means,
+                                                    dtype=np.float64).copy()
+        # Gate kernels: input, recurrent and mask contributions.
+        self.W = Parameter(xavier_init(rng, (d, 3 * h), d, h))
+        self.U = Parameter(xavier_init(rng, (h, 3 * h), h, h))
+        self.V = Parameter(xavier_init(rng, (d, 3 * h), d, h))   # mask kernel
+        self.b = Parameter(np.zeros(3 * h))
+        # Input decay (diagonal: one rate per channel) and hidden decay.
+        self.w_gamma_x = Parameter(np.zeros(d))
+        self.b_gamma_x = Parameter(np.zeros(d))
+        self.w_gamma_h = Parameter(xavier_init(rng, (d, h), d, h))
+        self.b_gamma_h = Parameter(np.zeros(h))
+
+    @property
+    def channel_means(self) -> np.ndarray:
+        return self._buffers["channel_means"]
+
+    def forward(self, x: Tensor, m: Tensor, delta: Tensor,
+                h_prev: Tensor, x_last: Tensor) -> tuple[Tensor, Tensor]:
+        """Returns (h_t, x_last_updated)."""
+        hsz = self.hidden_size
+        mean = Tensor(self.channel_means)
+
+        # Input decay toward the empirical mean.
+        gamma_x = (-(delta * self.w_gamma_x + self.b_gamma_x).relu()).exp()
+        x_hat = m * x + (1.0 - m) * (gamma_x * x_last
+                                     + (1.0 - gamma_x) * mean)
+        # Hidden-state decay.
+        gamma_h = (-(delta @ self.w_gamma_h + self.b_gamma_h).relu()).exp()
+        h_decayed = gamma_h * h_prev
+
+        gates_x = x_hat @ self.W + m @ self.V + self.b
+        gates_h = h_decayed @ self.U
+        z = (gates_x[:, :hsz] + gates_h[:, :hsz]).sigmoid()
+        r = (gates_x[:, hsz:2 * hsz] + gates_h[:, hsz:2 * hsz]).sigmoid()
+        cand = (gates_x[:, 2 * hsz:] + r * gates_h[:, 2 * hsz:]).tanh()
+        h = z * h_decayed + (1.0 - z) * cand
+
+        # Carry forward the last observation per channel.
+        x_last_new = m * x + (1.0 - m) * x_last
+        return h, x_last_new
+
+
+class GruD(Module):
+    """GRU-D forecaster: (N, T, D) values + mask + delta → (N, 1)."""
+
+    def __init__(self, n_features: int, hidden: int = 32,
+                 channel_means: Optional[np.ndarray] = None,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        means = (channel_means if channel_means is not None
+                 else np.zeros(n_features))
+        self.cell = GruDCell(n_features, hidden, np.asarray(means,
+                                                            dtype=np.float64),
+                             rng=rng)
+        self.hidden = hidden
+        self.out = Dense(hidden, 1, rng=rng)
+
+    def forward(self, x: Tensor, mask: Tensor, delta: Tensor) -> Tensor:
+        n, t, d = x.shape
+        h = Tensor(np.zeros((n, self.hidden)))
+        x_last = Tensor(np.broadcast_to(self.cell.channel_means,
+                                        (n, d)).copy())
+        for step in range(t):
+            h, x_last = self.cell(x[:, step, :], mask[:, step, :],
+                                  delta[:, step, :], h, x_last)
+        return self.out(h)
+
+    def predict(self, x: np.ndarray, mask: np.ndarray,
+                delta: np.ndarray) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        pred = self.forward(Tensor(x), Tensor(mask), Tensor(delta)).data
+        if was_training:
+            self.train()
+        return pred
+
+
+def make_grud_inputs(values: np.ndarray, mask: np.ndarray) -> tuple[
+        np.ndarray, np.ndarray, np.ndarray]:
+    """Build GRU-D (x, m, δ) from zero-filled windows and their masks.
+
+    ``values``/``mask`` are (N, T, D); δ_t is the time (in steps) since the
+    channel was last observed (δ_0 = 0, growing while unobserved).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    mask = np.asarray(mask, dtype=np.float64)
+    if values.shape != mask.shape or values.ndim != 3:
+        raise ValueError("values and mask must be (N, T, D) and congruent")
+    n, t, d = values.shape
+    delta = np.zeros_like(values)
+    for step in range(1, t):
+        delta[:, step] = np.where(mask[:, step - 1] > 0, 1.0,
+                                  delta[:, step - 1] + 1.0)
+    return values, mask, delta

@@ -1,0 +1,254 @@
+"""Residual networks (He et al. [17]) for land-cover classification.
+
+The paper trains a RESNET-50-class CNN "tuned for our multi-class land
+cover image classification problem" on BigEarthNet (Sec. III-A).  We
+provide:
+
+* :class:`ResNet` — a configurable residual CNN over multispectral NCHW
+  patches, with the stage layout given by ``blocks_per_stage``;
+* :func:`resnet_small` — the laptop-scale variant the functional
+  experiments train end-to-end (same architecture family, fewer/narrower
+  stages);
+* :func:`resnet20` — the classic CIFAR-style 3-stage ResNet;
+* :func:`resnet50_config` — the full ResNet-50 shape (used by the
+  performance model to count parameters and FLOPs at paper scale; training
+  it numerically on a laptop is intentionally out of scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.ml import functional as F
+from repro.ml.layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+    Module,
+    ReLU,
+    Sequential,
+)
+from repro.ml.tensor import Tensor
+
+
+class ResidualBlock(Module):
+    """Two 3×3 convs with identity (or 1×1-projected) skip connection."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = Conv2D(in_channels, out_channels, 3, stride=stride,
+                            padding=1, rng=rng, bias=False)
+        self.bn1 = BatchNorm(out_channels)
+        self.conv2 = Conv2D(out_channels, out_channels, 3, stride=1,
+                            padding=1, rng=rng, bias=False)
+        self.bn2 = BatchNorm(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.proj: Optional[Conv2D] = Conv2D(
+                in_channels, out_channels, 1, stride=stride, rng=rng, bias=False)
+            self.proj_bn: Optional[BatchNorm] = BatchNorm(out_channels)
+        else:
+            self.proj = None
+            self.proj_bn = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out))
+        skip = x if self.proj is None else self.proj_bn(self.proj(x))
+        return (out + skip).relu()
+
+
+class BottleneckBlock(Module):
+    """1×1 reduce → 3×3 → 1×1 expand with skip — ResNet-50's block type.
+
+    ``expansion`` output channels per bottleneck width (4 in He et al.).
+    """
+
+    expansion = 4
+
+    def __init__(self, in_channels: int, width: int, stride: int = 1,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        out_channels = width * self.expansion
+        self.conv1 = Conv2D(in_channels, width, 1, rng=rng, bias=False)
+        self.bn1 = BatchNorm(width)
+        self.conv2 = Conv2D(width, width, 3, stride=stride, padding=1,
+                            rng=rng, bias=False)
+        self.bn2 = BatchNorm(width)
+        self.conv3 = Conv2D(width, out_channels, 1, rng=rng, bias=False)
+        self.bn3 = BatchNorm(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.proj: Optional[Conv2D] = Conv2D(
+                in_channels, out_channels, 1, stride=stride, rng=rng,
+                bias=False)
+            self.proj_bn: Optional[BatchNorm] = BatchNorm(out_channels)
+        else:
+            self.proj = None
+            self.proj_bn = None
+        self.out_channels = out_channels
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.bn1(self.conv1(x)).relu()
+        out = self.bn2(self.conv2(out)).relu()
+        out = self.bn3(self.conv3(out))
+        skip = x if self.proj is None else self.proj_bn(self.proj(x))
+        return (out + skip).relu()
+
+
+class ResNet(Module):
+    """A residual CNN: stem → residual stages → GAP → classifier head."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        n_classes: int,
+        blocks_per_stage: Sequence[int] = (2, 2, 2),
+        base_width: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not blocks_per_stage:
+            raise ValueError("need at least one stage")
+        rng = np.random.default_rng(seed)
+        self.stem = Conv2D(in_channels, base_width, 3, stride=1, padding=1,
+                           rng=rng, bias=False)
+        self.stem_bn = BatchNorm(base_width)
+        stages: list[Module] = []
+        channels = base_width
+        for stage_idx, n_blocks in enumerate(blocks_per_stage):
+            out_channels = base_width * (2 ** stage_idx)
+            for block_idx in range(n_blocks):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                stages.append(ResidualBlock(channels, out_channels,
+                                            stride=stride, rng=rng))
+                channels = out_channels
+        self.stages = stages
+        self.pool = GlobalAvgPool2D()
+        self.head = Dense(channels, n_classes, rng=rng)
+        self.n_classes = n_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        for block in self.stages:
+            out = block(out)
+        return self.head(self.pool(out))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class predictions for a raw array batch (eval mode)."""
+        was_training = self.training
+        self.eval()
+        logits = self.forward(Tensor(x))
+        if was_training:
+            self.train()
+        return logits.data.argmax(axis=1)
+
+
+def resnet_small(in_channels: int = 12, n_classes: int = 10,
+                 seed: int = 0) -> ResNet:
+    """The laptop-scale land-cover classifier used in functional runs."""
+    return ResNet(in_channels, n_classes, blocks_per_stage=(1, 1),
+                  base_width=8, seed=seed)
+
+
+def resnet20(in_channels: int = 3, n_classes: int = 10, seed: int = 0) -> ResNet:
+    """Classic 3-stage ResNet-20 (He et al.'s CIFAR configuration)."""
+    return ResNet(in_channels, n_classes, blocks_per_stage=(3, 3, 3),
+                  base_width=16, seed=seed)
+
+
+class BottleneckResNet(Module):
+    """ResNet-50-family network built from bottleneck blocks.
+
+    ``blocks_per_stage=(3, 4, 6, 3)`` with ``base_width=64`` is the exact
+    ResNet-50 layout; the default laptop configuration keeps that *shape*
+    (4 bottleneck stages, expansion 4) at a trainable width.
+    """
+
+    def __init__(self, in_channels: int, n_classes: int,
+                 blocks_per_stage: Sequence[int] = (1, 1, 1, 1),
+                 base_width: int = 4, seed: int = 0) -> None:
+        super().__init__()
+        if not blocks_per_stage:
+            raise ValueError("need at least one stage")
+        rng = np.random.default_rng(seed)
+        stem_out = base_width * 4
+        self.stem = Conv2D(in_channels, stem_out, 3, stride=1, padding=1,
+                           rng=rng, bias=False)
+        self.stem_bn = BatchNorm(stem_out)
+        stages: list[Module] = []
+        channels = stem_out
+        for stage_idx, n_blocks in enumerate(blocks_per_stage):
+            width = base_width * (2 ** stage_idx)
+            for block_idx in range(n_blocks):
+                stride = 2 if (stage_idx > 0 and block_idx == 0) else 1
+                block = BottleneckBlock(channels, width, stride=stride,
+                                        rng=rng)
+                stages.append(block)
+                channels = block.out_channels
+        self.stages = stages
+        self.pool = GlobalAvgPool2D()
+        self.head = Dense(channels, n_classes, rng=rng)
+        self.n_classes = n_classes
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_bn(self.stem(x)).relu()
+        for block in self.stages:
+            out = block(out)
+        return self.head(self.pool(out))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        was_training = self.training
+        self.eval()
+        logits = self.forward(Tensor(x))
+        if was_training:
+            self.train()
+        return logits.data.argmax(axis=1)
+
+    def predict_proba_multilabel(self, x: np.ndarray) -> np.ndarray:
+        """Per-class sigmoid probabilities (the BigEarthNet task is
+        multi-label: each patch carries several CORINE classes)."""
+        was_training = self.training
+        self.eval()
+        logits = self.forward(Tensor(x)).data
+        if was_training:
+            self.train()
+        return 1.0 / (1.0 + np.exp(-logits))
+
+
+@dataclass(frozen=True)
+class ResNetShape:
+    """Analytic shape of a (bottleneck) ResNet for the performance model."""
+
+    name: str
+    n_parameters: int
+    flops_per_sample: float     # forward pass, multiply-accumulate counted as 2
+
+
+def resnet50_config(in_channels: int = 12, n_classes: int = 43,
+                    image_hw: int = 120) -> ResNetShape:
+    """Parameter/FLOP counts of ResNet-50 on BigEarthNet-sized patches.
+
+    Follows the standard bottleneck accounting (He et al. Table 1): ~25.6 M
+    parameters and ~4.1 GFLOPs at 224², rescaled to the input geometry used
+    here (BigEarthNet patches are 120×120, 12 bands → 43 classes).  The
+    distributed-training performance model (E3) uses these counts; training
+    the full net numerically is out of scope for a CPU laptop.
+    """
+    base_params = 25.6e6
+    # Stem + head adjustments for channel/class count differences.
+    stem_delta = (in_channels - 3) * 64 * 7 * 7
+    head_delta = (n_classes - 1000) * 2048
+    params = int(base_params + stem_delta + head_delta)
+    flops_224 = 4.1e9 * 2  # MACs -> FLOPs
+    scale = (image_hw / 224.0) ** 2
+    return ResNetShape(
+        name=f"ResNet-50({in_channels}ch,{n_classes}cls,{image_hw}px)",
+        n_parameters=params,
+        flops_per_sample=flops_224 * scale,
+    )

@@ -1,0 +1,494 @@
+"""Reverse-mode autodiff on NumPy arrays.
+
+The DL substrate of this reproduction (the paper's TensorFlow/Keras and
+pyTorch stand-in).  A :class:`Tensor` wraps an ``ndarray``; operations build
+a DAG of closures and :meth:`Tensor.backward` runs reverse topological
+accumulation.  All arithmetic is broadcasting-aware: gradients are summed
+back over broadcast dimensions (:func:`unbroadcast`).
+
+Everything is vectorised NumPy — per the optimisation guides, no Python
+loops inside kernels; convolutions (in :mod:`repro.ml.functional`) lower to
+im2col matmuls.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list]
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A differentiable array."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __array_priority__ = 100  # numpy defers binary ops to us
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _prev: tuple["Tensor", ...] = (),
+        name: str = "",
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        arr = np.asarray(data)
+        if arr.dtype.kind != "f":
+            arr = arr.astype(np.float64)
+        self.data = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._backward: Callable[[], None] = lambda: None
+        self._prev = _prev
+        self.name = name
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # -- autograd engine -------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = np.array(grad, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Reverse-mode accumulation from this tensor."""
+        if grad is None:
+            if self.size != 1:
+                raise ValueError("backward() without grad requires a scalar output")
+            grad = np.ones_like(self.data)
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._prev:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+        self.grad = np.asarray(grad, dtype=self.data.dtype).reshape(self.shape)
+        for node in reversed(topo):
+            node._backward()
+
+    @staticmethod
+    def _needs_grad(*tensors: "Tensor") -> bool:
+        return any(t.requires_grad for t in tensors)
+
+    @staticmethod
+    def as_tensor(x: ArrayLike) -> "Tensor":
+        return x if isinstance(x, Tensor) else Tensor(x)
+
+    # -- arithmetic -------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out = Tensor(
+            self.data + other.data,
+            requires_grad=Tensor._needs_grad(self, other),
+            _prev=(self, other),
+        )
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(out.grad, other.shape))
+
+        out._backward = backward
+        return out
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out = Tensor(
+            self.data * other.data,
+            requires_grad=Tensor._needs_grad(self, other),
+            _prev=(self, other),
+        )
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = backward
+        return out
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-Tensor.as_tensor(other))
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor(-self.data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(-out.grad)
+
+        out._backward = backward
+        return out
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        out = Tensor(
+            self.data / other.data,
+            requires_grad=Tensor._needs_grad(self, other),
+            _prev=(self, other),
+        )
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(out.grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(
+                    -out.grad * self.data / (other.data ** 2), other.shape))
+
+        out._backward = backward
+        return out
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor(self.data ** exponent, requires_grad=self.requires_grad,
+                     _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = backward
+        return out
+
+    __radd__ = __add__
+    __rmul__ = __mul__
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) - self
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return Tensor.as_tensor(other) / self
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = Tensor.as_tensor(other)
+        if self.ndim < 2 or other.ndim < 2:
+            raise ValueError("matmul requires operands of ndim >= 2")
+        out = Tensor(
+            self.data @ other.data,
+            requires_grad=Tensor._needs_grad(self, other),
+            _prev=(self, other),
+        )
+
+        def backward() -> None:
+            g = out.grad
+            a, b = self.data, other.data
+            if self.requires_grad:
+                ga = g @ np.swapaxes(b, -1, -2)
+                self._accumulate(unbroadcast(ga, a.shape))
+            if other.requires_grad:
+                gb = np.swapaxes(a, -1, -2) @ g
+                other._accumulate(unbroadcast(gb, b.shape))
+
+        out._backward = backward
+        return out
+
+    # -- elementwise nonlinearities ------------------------------------------------
+    def exp(self) -> "Tensor":
+        out = Tensor(np.exp(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data)
+
+        out._backward = backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad / self.data)
+
+        out._backward = backward
+        return out
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out = Tensor(np.tanh(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * (1.0 - out.data ** 2))
+
+        out._backward = backward
+        return out
+
+    def sigmoid(self) -> "Tensor":
+        sig = 1.0 / (1.0 + np.exp(-self.data))
+        out = Tensor(sig, requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * out.data * (1.0 - out.data))
+
+        out._backward = backward
+        return out
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out._backward = backward
+        return out
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * sign)
+
+        out._backward = backward
+        return out
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        mask = (self.data >= lo) & (self.data <= hi)
+        out = Tensor(np.clip(self.data, lo, hi),
+                     requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad * mask)
+
+        out._backward = backward
+        return out
+
+    # -- reductions -------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor(self.data.sum(axis=axis, keepdims=keepdims),
+                     requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            g = out.grad
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                shape = [1 if i in axes else s for i, s in enumerate(self.shape)]
+                g = g.reshape(shape)
+            self._accumulate(np.broadcast_to(g, self.shape).copy())
+
+        out._backward = backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.size if axis is None else (
+            np.prod([self.shape[a % self.ndim] for a in
+                     (axis if isinstance(axis, tuple) else (axis,))])
+        )
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if not self.requires_grad:
+                return
+            g = out.grad
+            ref = out.data
+            if axis is not None and not keepdims:
+                axes = axis if isinstance(axis, tuple) else (axis,)
+                axes = tuple(a % self.ndim for a in axes)
+                shape = [1 if i in axes else s for i, s in enumerate(self.shape)]
+                g = g.reshape(shape)
+                ref = ref.reshape(shape)
+            mask = (self.data == ref)
+            # Split gradient evenly among ties (rare but keeps sums exact).
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * g / counts)
+
+        out._backward = backward
+        return out
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        sq = (self - mu) ** 2
+        return sq.mean(axis=axis, keepdims=keepdims)
+
+    # -- shape manipulation -----------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad,
+                     _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.reshape(self.shape))
+
+        out._backward = backward
+        return out
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        axes = axes or tuple(reversed(range(self.ndim)))
+        out = Tensor(self.data.transpose(axes), requires_grad=self.requires_grad,
+                     _prev=(self,))
+        inverse = np.argsort(axes)
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = backward
+        return out
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, idx) -> "Tensor":
+        out = Tensor(self.data[idx], requires_grad=self.requires_grad, _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                g = np.zeros_like(self.data)
+                np.add.at(g, idx, out.grad)
+                self._accumulate(g)
+
+        out._backward = backward
+        return out
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor.as_tensor(t) for t in tensors]
+        out = Tensor(
+            np.concatenate([t.data for t in tensors], axis=axis),
+            requires_grad=any(t.requires_grad for t in tensors),
+            _prev=tuple(tensors),
+        )
+        sizes = [t.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward() -> None:
+            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                if t.requires_grad:
+                    sl = [slice(None)] * out.ndim
+                    sl[axis] = slice(int(start), int(stop))
+                    t._accumulate(out.grad[tuple(sl)])
+
+        out._backward = backward
+        return out
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = [Tensor.as_tensor(t) for t in tensors]
+        out = Tensor(
+            np.stack([t.data for t in tensors], axis=axis),
+            requires_grad=any(t.requires_grad for t in tensors),
+            _prev=tuple(tensors),
+        )
+
+        def backward() -> None:
+            for i, t in enumerate(tensors):
+                if t.requires_grad:
+                    t._accumulate(np.take(out.grad, i, axis=axis))
+
+        out._backward = backward
+        return out
+
+    def pad2d(self, pad: int) -> "Tensor":
+        """Zero-pad the last two axes symmetrically (NCHW images)."""
+        if pad == 0:
+            return self
+        widths = [(0, 0)] * (self.ndim - 2) + [(pad, pad), (pad, pad)]
+        out = Tensor(np.pad(self.data, widths), requires_grad=self.requires_grad,
+                     _prev=(self,))
+
+        def backward() -> None:
+            if self.requires_grad:
+                sl = tuple([slice(None)] * (self.ndim - 2)
+                           + [slice(pad, -pad), slice(pad, -pad)])
+                self._accumulate(out.grad[sl])
+
+        out._backward = backward
+        return out
+
+
+def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Factory mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)

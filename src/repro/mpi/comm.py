@@ -1,0 +1,421 @@
+"""The communicator: mpi4py-flavoured API over the mailbox transport.
+
+Lowercase methods (``send``, ``recv``, ``bcast``, ``scatter``, ``gather``,
+``allgather``, ``reduce``, ``allreduce``, ``alltoall``, ``barrier``)
+communicate arbitrary Python objects.  Uppercase methods (``Send``,
+``Recv``, ``Bcast``, ``Reduce``, ``Allreduce``, ``Allgather``) operate on
+NumPy buffers, filling receive buffers in place — the fast path that
+distributed training uses, mirroring mpi4py's convention.
+
+Simulated time: all traffic is charged to each rank's logical clock using
+the communicator's :class:`~repro.simnet.costs.CommCostModel` (a fabric
+choice, e.g. the booster's InfiniBand HDR).  ``comm.compute(seconds)``
+charges modelled computation, so a full training loop produces a faithful
+simulated timeline alongside its real numerical results.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.simnet.costs import CommCostModel
+from repro.simnet.link import LinkKind
+from repro.mpi.transport import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    RankState,
+    Transport,
+    payload_nbytes,
+)
+
+
+class ReduceOp:
+    """Reduction operators for reduce/allreduce (mpi4py's MPI.SUM etc.)."""
+
+    SUM = "sum"
+    PROD = "prod"
+    MAX = "max"
+    MIN = "min"
+    LAND = "land"
+    LOR = "lor"
+
+    _FUNCS: dict[str, Callable[[Any, Any], Any]] = {
+        "sum": lambda a, b: a + b,
+        "prod": lambda a, b: a * b,
+        "max": lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b),
+        "min": lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b),
+        "land": lambda a, b: bool(a) and bool(b),
+        "lor": lambda a, b: bool(a) or bool(b),
+    }
+
+    @classmethod
+    def func(cls, op: str) -> Callable[[Any, Any], Any]:
+        try:
+            return cls._FUNCS[op]
+        except KeyError:
+            raise ValueError(f"unknown reduce op {op!r}") from None
+
+
+#: Default fabric if none is specified: the booster's InfiniBand HDR.
+_DEFAULT_COST_MODEL = CommCostModel.of_kind(LinkKind.INFINIBAND_HDR)
+
+#: Tag space partitioning: user tags must stay below this; internal
+#: collective traffic uses tags above it.
+_INTERNAL_TAG_BASE = 1 << 20
+
+
+class Request:
+    """Completed-immediately request handle (sends are buffered)."""
+
+    def __init__(self, value: Any = None) -> None:
+        self._value = value
+
+    def wait(self) -> Any:
+        return self._value
+
+    def test(self) -> tuple[bool, Any]:
+        return True, self._value
+
+
+class RecvRequest:
+    """A genuinely non-blocking receive: matched on wait()/test()."""
+
+    def __init__(self, comm: "Communicator", source: int, tag: int) -> None:
+        self._comm = comm
+        self._source = source
+        self._tag = tag
+        self._done = False
+        self._value: Any = None
+
+    def test(self) -> tuple[bool, Any]:
+        """Non-destructively check for a match; completes if present."""
+        if self._done:
+            return True, self._value
+        match = self._comm.transport.probe(
+            self._comm._world(self._comm.rank), source=self._source,
+            tag=self._tag, context=self._comm.context)
+        if match is None:
+            return False, None
+        return True, self.wait()
+
+    def wait(self) -> Any:
+        if not self._done:
+            self._value = self._comm._recv_raw(
+                source=self._source, tag=self._tag).payload
+            self._done = True
+        return self._value
+
+
+class Communicator:
+    """A process group over a :class:`Transport`.
+
+    ``group`` maps group-local ranks to world ranks; COMM_WORLD uses the
+    identity mapping and context 0.
+    """
+
+    def __init__(
+        self,
+        transport: Transport,
+        rank: int,
+        group: Optional[Sequence[int]] = None,
+        context: int = 0,
+        cost_model: Optional[CommCostModel] = None,
+    ) -> None:
+        self.transport = transport
+        self.group = list(group) if group is not None else list(range(transport.world_size))
+        if rank not in range(len(self.group)):
+            raise ValueError(f"rank {rank} outside group of size {len(self.group)}")
+        self.rank = rank
+        self.size = len(self.group)
+        self.context = context
+        self.cost_model = cost_model or _DEFAULT_COST_MODEL
+        self.state: RankState = transport.states[self.group[rank]]
+        self._coll_seq = 0  # per-communicator collective sequence for tag isolation
+
+    # -- mpi4py-style accessors ---------------------------------------------
+    def Get_rank(self) -> int:
+        return self.rank
+
+    def Get_size(self) -> int:
+        return self.size
+
+    @property
+    def sim_time(self) -> float:
+        """This rank's simulated clock (seconds)."""
+        return self.state.sim_time
+
+    def compute(self, seconds: float) -> None:
+        """Charge modelled local computation to the simulated clock."""
+        if seconds < 0:
+            raise ValueError("compute time must be non-negative")
+        self.state.advance(seconds)
+        self.state.compute_time += seconds
+
+    # -- internal point-to-point --------------------------------------------
+    def _world(self, grp_rank: int) -> int:
+        return self.group[grp_rank]
+
+    def _send_raw(self, dest: int, obj: Any, tag: int) -> None:
+        nbytes = payload_nbytes(obj)
+        if hasattr(self.cost_model, "ptp_between"):
+            # Modular placement: cost depends on the endpoints' modules.
+            cost = self.cost_model.ptp_between(
+                self._world(self.rank), self._world(dest), nbytes)
+        else:
+            cost = self.cost_model.ptp(nbytes)
+        msg = Message(
+            source=self.rank,
+            tag=tag,
+            context=self.context,
+            payload=obj,
+            send_time=self.state.sim_time,
+            nbytes=nbytes,
+        )
+        self.state.bytes_sent += nbytes
+        self.state.messages_sent += 1
+        # Sender-side overhead: the message latency term; transmission
+        # overlaps with subsequent computation (eager/buffered send).
+        self.state.advance(self.cost_model.alpha)
+        self.state.comm_time += self.cost_model.alpha
+        msg_arrival = msg.send_time + cost
+        msg.send_time = msg_arrival  # store arrival time for the receiver
+        self.transport.put(self._world(dest), msg)
+
+    def _recv_raw(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
+        msg = self.transport.get(
+            self._world(self.rank), source=source, tag=tag, context=self.context
+        )
+        before = self.state.sim_time
+        self.state.observe(msg.send_time)
+        self.state.comm_time += self.state.sim_time - before
+        self.state.bytes_received += msg.nbytes
+        self.state.messages_received += 1
+        return msg
+
+    # -- lowercase object API -------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self._check_user_tag(tag)
+        self._send_raw(dest, obj, tag)
+
+    def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        self.send(obj, dest, tag)
+        return Request()
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        if tag != ANY_TAG:
+            self._check_user_tag(tag)
+        return self._recv_raw(source=source, tag=tag).payload
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "RecvRequest":
+        """Non-blocking receive; complete it with ``wait()`` or ``test()``."""
+        if tag != ANY_TAG:
+            self._check_user_tag(tag)
+        return RecvRequest(self, source, tag)
+
+    def sendrecv(
+        self, sendobj: Any, dest: int, source: int, sendtag: int = 0, recvtag: int = ANY_TAG
+    ) -> Any:
+        self.send(sendobj, dest, sendtag)
+        return self.recv(source=source, tag=recvtag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        return (
+            self.transport.probe(
+                self._world(self.rank), source=source, tag=tag, context=self.context
+            )
+            is not None
+        )
+
+    @staticmethod
+    def _check_user_tag(tag: int) -> None:
+        if not (0 <= tag < _INTERNAL_TAG_BASE):
+            raise ValueError(f"user tag must be in [0, {_INTERNAL_TAG_BASE})")
+
+    def _next_coll_tag(self) -> int:
+        # Collectives on a communicator are called in the same order by all
+        # ranks (MPI semantics), so a local sequence number agrees globally.
+        # Each collective owns a block of 4096 tags: multi-step algorithms
+        # (ring, recursive doubling) use tag offsets, and ranks may be in
+        # adjacent collectives at the same instant.
+        self._coll_seq += 1
+        return _INTERNAL_TAG_BASE + self._coll_seq * 4096
+
+    # -- collectives (object flavour) ------------------------------------------
+    def barrier(self) -> None:
+        from repro.mpi import collectives
+
+        collectives.dissemination_barrier(self, self._next_coll_tag())
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        from repro.mpi import collectives
+
+        return collectives.binomial_bcast(self, obj, root, self._next_coll_tag())
+
+    def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
+        tag = self._next_coll_tag()
+        if self.rank == root:
+            if objs is None or len(objs) != self.size:
+                raise ValueError("root must pass one object per rank")
+            for dst in range(self.size):
+                if dst != root:
+                    self._send_raw(dst, objs[dst], tag)
+            return objs[root]
+        return self._recv_raw(source=root, tag=tag).payload
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[list]:
+        tag = self._next_coll_tag()
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = obj
+            for _ in range(self.size - 1):
+                msg = self._recv_raw(source=ANY_SOURCE, tag=tag)
+                out[msg.source] = msg.payload
+            return out
+        self._send_raw(root, obj, tag)
+        return None
+
+    def allgather(self, obj: Any) -> list:
+        from repro.mpi import collectives
+
+        return collectives.ring_allgather(self, obj, self._next_coll_tag())
+
+    def alltoall(self, objs: Sequence[Any]) -> list:
+        if len(objs) != self.size:
+            raise ValueError("alltoall needs one object per rank")
+        tag = self._next_coll_tag()
+        out: list[Any] = [None] * self.size
+        out[self.rank] = objs[self.rank]
+        # Rotating pairwise schedule: step k sends to rank+k, receives from
+        # rank-k — deadlock-free because sends are buffered.
+        for step in range(1, self.size):
+            send_to = (self.rank + step) % self.size
+            recv_from = (self.rank - step) % self.size
+            self._send_raw(send_to, objs[send_to], tag)
+            msg = self._recv_raw(source=recv_from, tag=tag)
+            out[recv_from] = msg.payload
+        return out
+
+    def reduce(self, obj: Any, op: str = ReduceOp.SUM, root: int = 0) -> Any:
+        from repro.mpi import collectives
+
+        return collectives.binomial_reduce(self, obj, op, root, self._next_coll_tag())
+
+    def allreduce(self, obj: Any, op: str = ReduceOp.SUM) -> Any:
+        from repro.mpi import collectives
+
+        if isinstance(obj, np.ndarray) and obj.size >= self.size and op == ReduceOp.SUM:
+            out = obj.astype(np.result_type(obj.dtype, np.float64), copy=True) \
+                if obj.dtype.kind in "fc" else obj.copy()
+            collectives.ring_allreduce_inplace(self, out, self._next_coll_tag())
+            return out
+        return collectives.recursive_doubling_allreduce(
+            self, obj, op, self._next_coll_tag()
+        )
+
+    def reduce_scatter(self, array: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
+        """SUM-reduce a buffer and scatter chunks: each rank gets its fully
+        reduced slice plus the (lo, hi) bounds into the flattened buffer."""
+        from repro.mpi import collectives
+
+        return collectives.ring_reduce_scatter(
+            self, array, self._next_coll_tag())
+
+    def scan(self, obj: Any, op: str = ReduceOp.SUM) -> Any:
+        """Inclusive prefix reduction."""
+        tag = self._next_coll_tag()
+        fn = ReduceOp.func(op)
+        acc = obj
+        if self.rank > 0:
+            prev = self._recv_raw(source=self.rank - 1, tag=tag).payload
+            acc = fn(prev, obj)
+        if self.rank < self.size - 1:
+            self._send_raw(self.rank + 1, acc, tag)
+        return acc
+
+    # -- uppercase buffer API ----------------------------------------------------
+    @staticmethod
+    def _as_array(buf: np.ndarray) -> np.ndarray:
+        if not isinstance(buf, np.ndarray):
+            raise TypeError("uppercase methods require numpy arrays")
+        return buf
+
+    def Send(self, buf: np.ndarray, dest: int, tag: int = 0) -> None:
+        self.send(self._as_array(buf).copy(), dest, tag)
+
+    def Recv(self, buf: np.ndarray, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> None:
+        data = self.recv(source=source, tag=tag)
+        arr = self._as_array(buf)
+        arr[...] = np.asarray(data).reshape(arr.shape)
+
+    def Bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        arr = self._as_array(buf)
+        out = self.bcast(arr if self.rank == root else None, root=root)
+        if self.rank != root:
+            arr[...] = np.asarray(out).reshape(arr.shape)
+
+    def Reduce(self, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
+               op: str = ReduceOp.SUM, root: int = 0) -> None:
+        result = self.reduce(self._as_array(sendbuf).copy(), op=op, root=root)
+        if self.rank == root:
+            if recvbuf is None:
+                raise ValueError("root must pass recvbuf")
+            recvbuf[...] = np.asarray(result).reshape(recvbuf.shape)
+
+    def Allreduce(self, sendbuf: np.ndarray, recvbuf: np.ndarray,
+                  op: str = ReduceOp.SUM) -> None:
+        result = self.allreduce(self._as_array(sendbuf).copy(), op=op)
+        recvbuf[...] = np.asarray(result).reshape(recvbuf.shape)
+
+    def Allgather(self, sendbuf: np.ndarray, recvbuf: np.ndarray) -> None:
+        parts = self.allgather(self._as_array(sendbuf).copy())
+        stacked = np.concatenate([np.asarray(p).ravel() for p in parts])
+        recvbuf.ravel()[...] = stacked
+
+    # -- communicator management -----------------------------------------------
+    def Split(self, color: int, key: int = 0) -> Optional["Communicator"]:
+        """Partition the communicator by ``color``; order ranks by ``key``.
+
+        Returns None for ranks passing a negative color (MPI_UNDEFINED).
+        """
+        entries = self.allgather((color, key, self.rank))
+        # Same context must be agreed by every member: derive from rank 0's
+        # allocation and broadcast alongside (deterministic: one allocation
+        # per color, done identically on all ranks via sorted colors).
+        colors = sorted({c for c, _, _ in entries if c >= 0})
+        base_ctx = self.bcast(
+            self.transport.allocate_context() if self.rank == 0 else None, root=0
+        )
+        if color < 0:
+            return None
+        members = sorted(
+            [(k, r) for c, k, r in entries if c == color], key=lambda kr: (kr[0], kr[1])
+        )
+        group = [self._world(r) for _, r in members]
+        new_rank = [r for _, r in members].index(self.rank)
+        ctx = base_ctx * 4096 + colors.index(color)
+        return Communicator(
+            self.transport, new_rank, group=group, context=ctx,
+            cost_model=self.cost_model,
+        )
+
+    def Dup(self) -> "Communicator":
+        ctx = self.bcast(
+            self.transport.allocate_context() if self.rank == 0 else None, root=0
+        )
+        return Communicator(
+            self.transport, self.rank, group=list(self.group),
+            context=ctx * 4096 + 4095, cost_model=self.cost_model,
+        )
+
+    def with_cost_model(self, cost_model: CommCostModel) -> "Communicator":
+        """Same group/context, different fabric model (e.g. GCE offload)."""
+        clone = Communicator(
+            self.transport, self.rank, group=list(self.group),
+            context=self.context, cost_model=cost_model,
+        )
+        clone._coll_seq = self._coll_seq
+        return clone

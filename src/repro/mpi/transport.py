@@ -1,0 +1,156 @@
+"""Thread-safe message transport and per-rank state.
+
+The transport is a set of per-rank mailboxes guarded by a condition
+variable.  Messages are addressed by (destination, source, tag, context) —
+``context`` isolates communicators produced by ``Split`` from each other,
+mirroring MPI context ids.
+
+Message payloads carry the sender's simulated timestamp so receivers can
+advance their logical clocks (see :mod:`repro.mpi.comm`).
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Seconds between abort-flag checks while a recv is blocked.
+_POLL_INTERVAL = 0.05
+
+
+class TransportAborted(RuntimeError):
+    """Raised in blocked receivers when another rank has failed."""
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Wire size estimate used by the simulated clock and traffic stats."""
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return 64  # unpicklable sentinel — charge a small envelope
+
+
+@dataclass
+class Message:
+    source: int
+    tag: int
+    context: int
+    payload: Any
+    send_time: float
+    nbytes: int
+
+
+@dataclass
+class RankState:
+    """Per-rank simulation state shared by all communicators of that rank."""
+
+    rank: int
+    sim_time: float = 0.0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    compute_time: float = 0.0
+    comm_time: float = 0.0
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.sim_time += dt
+
+    def observe(self, remote_time: float) -> None:
+        """Logical-clock merge: never run ahead of a message's arrival time."""
+        if remote_time > self.sim_time:
+            self.sim_time = remote_time
+
+
+class Transport:
+    """Mailbox fabric for one SPMD world."""
+
+    def __init__(self, world_size: int) -> None:
+        if world_size < 1:
+            raise ValueError("world_size must be >= 1")
+        self.world_size = world_size
+        self._mailboxes: list[list[Message]] = [[] for _ in range(world_size)]
+        self._conditions = [threading.Condition() for _ in range(world_size)]
+        self._aborted = threading.Event()
+        self.states = [RankState(rank=r) for r in range(world_size)]
+        self._context_lock = threading.Lock()
+        self._next_context = 1  # 0 is COMM_WORLD
+
+    # -- failure propagation ----------------------------------------------
+    def abort(self) -> None:
+        self._aborted.set()
+        for cond in self._conditions:
+            with cond:
+                cond.notify_all()
+
+    @property
+    def aborted(self) -> bool:
+        return self._aborted.is_set()
+
+    def allocate_context(self) -> int:
+        with self._context_lock:
+            ctx = self._next_context
+            self._next_context += 1
+            return ctx
+
+    # -- messaging ----------------------------------------------------------
+    def put(self, dest: int, msg: Message) -> None:
+        if not (0 <= dest < self.world_size):
+            raise ValueError(f"destination rank {dest} out of range")
+        cond = self._conditions[dest]
+        with cond:
+            self._mailboxes[dest].append(msg)
+            cond.notify_all()
+
+    def get(
+        self,
+        dest: int,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        context: int = 0,
+    ) -> Message:
+        """Blocking matched receive for rank ``dest``."""
+        cond = self._conditions[dest]
+        with cond:
+            while True:
+                box = self._mailboxes[dest]
+                for i, msg in enumerate(box):
+                    if msg.context != context:
+                        continue
+                    if source != ANY_SOURCE and msg.source != source:
+                        continue
+                    if tag != ANY_TAG and msg.tag != tag:
+                        continue
+                    return box.pop(i)
+                if self._aborted.is_set():
+                    raise TransportAborted("SPMD world aborted while receiving")
+                cond.wait(timeout=_POLL_INTERVAL)
+
+    def probe(
+        self, dest: int, source: int = ANY_SOURCE, tag: int = ANY_TAG, context: int = 0
+    ) -> Optional[Message]:
+        """Non-destructive check for a matching message (returns it or None)."""
+        cond = self._conditions[dest]
+        with cond:
+            for msg in self._mailboxes[dest]:
+                if msg.context != context:
+                    continue
+                if source != ANY_SOURCE and msg.source != source:
+                    continue
+                if tag != ANY_TAG and msg.tag != tag:
+                    continue
+                return msg
+        return None

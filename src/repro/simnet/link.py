@@ -1,0 +1,90 @@
+"""Link models for MSA interconnects.
+
+A link is characterised by latency (seconds) and bandwidth (bytes/second);
+transferring ``n`` bytes costs ``latency + n / bandwidth``.  The constants
+below follow the fabrics named in the paper: InfiniBand EDR/HDR inside the
+JUWELS modules, EXTOLL-class links for the DEEP network federation, NVLink
+between GPUs inside a node, and PCIe for host↔accelerator traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class LinkKind(str, Enum):
+    """Interconnect families that appear in the paper's systems."""
+
+    INFINIBAND_EDR = "infiniband-edr"       # JUWELS cluster module fabric
+    INFINIBAND_HDR = "infiniband-hdr"       # JUWELS booster fabric
+    EXTOLL = "extoll"                       # DEEP network federation
+    NVLINK = "nvlink"                       # intra-node GPU mesh
+    PCIE3 = "pcie3"                         # host <-> FPGA/GPU (DEEP DAM)
+    PCIE4 = "pcie4"
+    ETHERNET_100G = "ethernet-100g"         # cloud / storage access networks
+    FEDERATION = "federation"               # generic inter-module bridge
+
+
+#: (latency seconds, bandwidth bytes/s) per link family.  Values are public
+#: datasheet-order-of-magnitude figures; the experiments depend on ratios,
+#: not absolutes.
+LINK_CHARACTERISTICS: dict[LinkKind, tuple[float, float]] = {
+    LinkKind.INFINIBAND_EDR: (1.0e-6, 12.5e9),     # 100 Gb/s
+    LinkKind.INFINIBAND_HDR: (0.9e-6, 25.0e9),     # 200 Gb/s
+    LinkKind.EXTOLL: (0.75e-6, 12.5e9),
+    LinkKind.NVLINK: (0.5e-6, 150.0e9),
+    LinkKind.PCIE3: (0.8e-6, 15.75e9),
+    LinkKind.PCIE4: (0.7e-6, 31.5e9),
+    LinkKind.ETHERNET_100G: (5.0e-6, 12.5e9),
+    LinkKind.FEDERATION: (2.0e-6, 12.5e9),
+}
+
+
+@dataclass(frozen=True)
+class Link:
+    """A unidirectional point-to-point link."""
+
+    kind: LinkKind
+    latency_s: float
+    bandwidth_Bps: float
+
+    @classmethod
+    def of_kind(cls, kind: LinkKind) -> "Link":
+        latency, bandwidth = LINK_CHARACTERISTICS[kind]
+        return cls(kind=kind, latency_s=latency, bandwidth_Bps=bandwidth)
+
+    def transfer_time(self, nbytes: float) -> float:
+        """α + n·β cost of moving ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+    def effective_bandwidth(self, nbytes: float) -> float:
+        """Achieved bytes/s for a transfer of ``nbytes`` (latency-degraded)."""
+        if nbytes <= 0:
+            return 0.0
+        return nbytes / self.transfer_time(nbytes)
+
+
+@dataclass(frozen=True)
+class DuplexLink:
+    """A full-duplex link: simultaneous send and receive at full bandwidth.
+
+    Ring collectives exploit duplexity — each rank sends to its successor
+    while receiving from its predecessor, so one ring step costs a single
+    :meth:`Link.transfer_time`, not two.
+    """
+
+    link: Link
+
+    @property
+    def kind(self) -> LinkKind:
+        return self.link.kind
+
+    def step_time(self, nbytes: float) -> float:
+        return self.link.transfer_time(nbytes)
+
+    def exchange_time(self, nbytes: float) -> float:
+        """Simultaneous pairwise exchange (both directions overlap)."""
+        return self.link.transfer_time(nbytes)

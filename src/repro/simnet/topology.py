@@ -1,0 +1,237 @@
+"""Interconnect topologies and the MSA network federation.
+
+Each MSA module has its own fabric (fat-tree for the cluster/booster,
+smaller trees for DAM) and the *network federation* bridges the module
+fabrics (Fig. 1 of the paper).  Topologies are :mod:`networkx` graphs whose
+edges carry :class:`~repro.simnet.link.Link` attributes, wrapped in a
+:class:`Topology` that provides routing and path-cost queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional
+
+import networkx as nx
+
+from repro.simnet.link import Link, LinkKind
+
+
+@dataclass
+class Topology:
+    """A routed interconnect graph.
+
+    Nodes are arbitrary hashables (compute node ids, switch ids); edges carry
+    a ``link`` attribute.  Endpoint (non-switch) nodes carry ``terminal=True``.
+    """
+
+    graph: nx.Graph
+    name: str = "topology"
+    _path_cache: dict = field(default_factory=dict, repr=False)
+
+    # -- construction helpers ---------------------------------------------
+    def add_terminal(self, node: Hashable) -> None:
+        self.graph.add_node(node, terminal=True)
+
+    def add_switch(self, node: Hashable) -> None:
+        self.graph.add_node(node, terminal=False)
+
+    def connect(self, a: Hashable, b: Hashable, link: Link) -> None:
+        self.graph.add_edge(a, b, link=link)
+        self._path_cache.clear()
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def terminals(self) -> list:
+        return [n for n, d in self.graph.nodes(data=True) if d.get("terminal", True)]
+
+    @property
+    def switches(self) -> list:
+        return [n for n, d in self.graph.nodes(data=True) if not d.get("terminal", True)]
+
+    def path(self, src: Hashable, dst: Hashable) -> list:
+        """Latency-weighted shortest path (cached)."""
+        key = (src, dst)
+        if key not in self._path_cache:
+            self._path_cache[key] = nx.shortest_path(
+                self.graph, src, dst, weight=lambda u, v, d: d["link"].latency_s
+            )
+        return self._path_cache[key]
+
+    def hop_count(self, src: Hashable, dst: Hashable) -> int:
+        return len(self.path(src, dst)) - 1
+
+    def path_latency(self, src: Hashable, dst: Hashable) -> float:
+        """Sum of per-hop latencies along the route."""
+        p = self.path(src, dst)
+        return sum(self.graph.edges[u, v]["link"].latency_s for u, v in zip(p, p[1:]))
+
+    def path_bandwidth(self, src: Hashable, dst: Hashable) -> float:
+        """Bottleneck bandwidth along the route."""
+        p = self.path(src, dst)
+        if len(p) < 2:
+            return float("inf")
+        return min(self.graph.edges[u, v]["link"].bandwidth_Bps for u, v in zip(p, p[1:]))
+
+    def transfer_time(self, src: Hashable, dst: Hashable, nbytes: float,
+                      concurrent_flows: int = 1) -> float:
+        """Store-and-forward pipeline approximation: Σα + n/min(β).
+
+        ``concurrent_flows`` models congestion: flows sharing the route's
+        bottleneck link divide its bandwidth (fair sharing) — how the
+        federation behaves when many jobs stage data simultaneously.
+        """
+        if src == dst:
+            return 0.0
+        if concurrent_flows < 1:
+            raise ValueError("concurrent_flows must be >= 1")
+        bottleneck = self.path_bandwidth(src, dst) / concurrent_flows
+        return self.path_latency(src, dst) + nbytes / bottleneck
+
+    def bisection_links(self) -> int:
+        """Number of edges crossing a (roughly) even terminal bipartition.
+
+        A cheap proxy for bisection bandwidth used in topology sanity tests.
+        """
+        terminals = sorted(self.terminals, key=str)
+        half = set(terminals[: len(terminals) // 2])
+        return sum(
+            1
+            for u, v in self.graph.edges
+            if (u in half) != (v in half)
+        )
+
+
+# ---------------------------------------------------------------------------
+# topology factories
+# ---------------------------------------------------------------------------
+
+def fully_connected(n_nodes: int, kind: LinkKind, name: str = "full") -> Topology:
+    """All-to-all direct links — the model for NVLink GPU meshes in a node."""
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    g = nx.Graph()
+    topo = Topology(g, name=name)
+    link = Link.of_kind(kind)
+    for i in range(n_nodes):
+        topo.add_terminal(("node", i))
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            topo.connect(("node", i), ("node", j), link)
+    return topo
+
+
+def fat_tree(
+    n_nodes: int,
+    kind: LinkKind,
+    radix: int = 16,
+    name: str = "fat-tree",
+) -> Topology:
+    """Two-level fat-tree: leaf switches of ``radix`` nodes under a spine.
+
+    The JUWELS cluster and booster fabrics are InfiniBand fat-trees; two
+    levels suffice for the node counts the experiments sweep, and the model
+    only needs hop counts / bottleneck bandwidths to be right in shape.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    if radix < 2:
+        raise ValueError("radix must be >= 2")
+    g = nx.Graph()
+    topo = Topology(g, name=name)
+    link = Link.of_kind(kind)
+    n_leaves = (n_nodes + radix - 1) // radix
+    topo.add_switch(("spine", 0))
+    for leaf in range(n_leaves):
+        topo.add_switch(("leaf", leaf))
+        # Fat-tree property: uplink capacity matches downlink aggregate.
+        uplink = Link(kind=kind, latency_s=link.latency_s,
+                      bandwidth_Bps=link.bandwidth_Bps * radix)
+        topo.connect(("leaf", leaf), ("spine", 0), uplink)
+    for i in range(n_nodes):
+        topo.add_terminal(("node", i))
+        topo.connect(("node", i), ("leaf", i // radix), link)
+    return topo
+
+
+def torus_3d(dims: tuple[int, int, int], kind: LinkKind, name: str = "torus3d") -> Topology:
+    """3-D torus — used for comparison studies of regular-communication codes."""
+    dx, dy, dz = dims
+    if min(dims) < 1:
+        raise ValueError("all torus dimensions must be >= 1")
+    g = nx.Graph()
+    topo = Topology(g, name=name)
+    link = Link.of_kind(kind)
+    for x in range(dx):
+        for y in range(dy):
+            for z in range(dz):
+                topo.add_terminal(("node", x, y, z))
+    for x in range(dx):
+        for y in range(dy):
+            for z in range(dz):
+                here = ("node", x, y, z)
+                for nbr in (
+                    ("node", (x + 1) % dx, y, z),
+                    ("node", x, (y + 1) % dy, z),
+                    ("node", x, y, (z + 1) % dz),
+                ):
+                    if nbr != here and not g.has_edge(here, nbr):
+                        topo.connect(here, nbr, link)
+    return topo
+
+
+def dragonfly(
+    n_groups: int,
+    nodes_per_group: int,
+    kind: LinkKind,
+    name: str = "dragonfly",
+) -> Topology:
+    """Dragonfly: dense groups, all-to-all global links between groups."""
+    if n_groups < 1 or nodes_per_group < 1:
+        raise ValueError("groups and nodes per group must be >= 1")
+    g = nx.Graph()
+    topo = Topology(g, name=name)
+    local = Link.of_kind(kind)
+    global_link = Link(kind=kind, latency_s=local.latency_s * 2,
+                       bandwidth_Bps=local.bandwidth_Bps)
+    for grp in range(n_groups):
+        topo.add_switch(("router", grp))
+        for i in range(nodes_per_group):
+            node = ("node", grp, i)
+            topo.add_terminal(node)
+            topo.connect(node, ("router", grp), local)
+    for a in range(n_groups):
+        for b in range(a + 1, n_groups):
+            topo.connect(("router", a), ("router", b), global_link)
+    return topo
+
+
+def federated(
+    modules: dict[str, Topology],
+    federation_kind: LinkKind = LinkKind.FEDERATION,
+    name: str = "msa-federation",
+) -> Topology:
+    """Join per-module fabrics through a federation switch (the MSA NF).
+
+    Each module contributes its graph with nodes prefixed by module name; a
+    central federation switch connects one gateway switch (or node) per
+    module.  This reproduces Fig. 1's 'high-performance federated network
+    connecting module-specific interconnects'.
+    """
+    if not modules:
+        raise ValueError("need at least one module")
+    g = nx.Graph()
+    topo = Topology(g, name=name)
+    fed_link = Link.of_kind(federation_kind)
+    topo.add_switch(("federation", 0))
+    for mod_name, mod_topo in modules.items():
+        for node, data in mod_topo.graph.nodes(data=True):
+            g.add_node((mod_name, node), **data)
+        for u, v, data in mod_topo.graph.edges(data=True):
+            g.add_edge((mod_name, u), (mod_name, v), **data)
+        # Gateway: prefer a switch, fall back to the first terminal.
+        switches = [n for n, d in mod_topo.graph.nodes(data=True) if not d.get("terminal", True)]
+        gateway = switches[0] if switches else sorted(mod_topo.graph.nodes, key=str)[0]
+        topo.connect((mod_name, gateway), ("federation", 0), fed_link)
+    topo._path_cache.clear()
+    return topo

@@ -1,0 +1,134 @@
+"""Checkpoint/restart over the NAM vs the parallel filesystem.
+
+The NAM prototype's original mission (the paper's ref [12], Schmidt's
+dissertation) is *accelerating checkpoint/restart application performance
+... with network attached memory*: instead of all ranks funnelling their
+state through the PFS, checkpoints stream into fabric-attached memory at
+memory-class bandwidth, and restarts read them back without touching disk.
+
+:class:`CheckpointManager` implements both paths over the existing storage
+models and the DL framework's ``state_dict`` convention, so a real training
+loop can checkpoint its model and the E10-adjacent bench can compare the
+two paths' times at growing state sizes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.storage.nam import NetworkAttachedMemory
+from repro.storage.pfs import ParallelFileSystem
+
+GiB = 1024 ** 3
+
+
+class CheckpointError(RuntimeError):
+    """Raised for missing or corrupt checkpoints."""
+
+
+def state_nbytes(state: dict[str, np.ndarray]) -> int:
+    """Payload size of a state dict."""
+    return int(sum(np.asarray(v).nbytes for v in state.values()))
+
+
+@dataclass
+class CheckpointRecord:
+    name: str
+    step: int
+    nbytes: int
+    target: str                  # "nam" | "pfs"
+    payload: bytes = field(repr=False, default=b"")
+
+
+class CheckpointManager:
+    """Write/read training checkpoints to the NAM or the PFS.
+
+    >>> mgr = CheckpointManager(nam=NetworkAttachedMemory(capacity_GB=64))
+    >>> t_write = mgr.save("resnet", step=100, state=model.state_dict())
+    >>> state, t_read = mgr.restore("resnet")
+    """
+
+    def __init__(self, nam: Optional[NetworkAttachedMemory] = None,
+                 pfs: Optional[ParallelFileSystem] = None,
+                 prefer: str = "nam") -> None:
+        if nam is None and pfs is None:
+            raise ValueError("need at least one storage target")
+        if prefer not in ("nam", "pfs"):
+            raise ValueError("prefer must be 'nam' or 'pfs'")
+        self.nam = nam
+        self.pfs = pfs
+        self.prefer = prefer
+        self._records: dict[str, CheckpointRecord] = {}
+
+    # -- write -----------------------------------------------------------
+    def save(self, name: str, step: int, state: dict[str, np.ndarray],
+             target: Optional[str] = None) -> float:
+        """Persist a checkpoint; returns the modelled write time (s)."""
+        target = target or self.prefer
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        nbytes = len(payload)
+        if target == "nam":
+            if self.nam is None:
+                raise CheckpointError("no NAM attached")
+            key = f"ckpt:{name}"
+            if self.nam.contains(key):
+                self.nam.evict(key)   # overwrite semantics
+            t = self.nam.stage(key, nbytes)
+        elif target == "pfs":
+            if self.pfs is None:
+                raise CheckpointError("no PFS attached")
+            path = f"/ckpt/{name}"
+            if path in self.pfs.files:
+                self.pfs.unlink(path)
+            handle = self.pfs.create(path, nbytes)
+            t = self.pfs.write_time(handle)
+        else:
+            raise ValueError(f"unknown target {target!r}")
+        self._records[name] = CheckpointRecord(
+            name=name, step=step, nbytes=nbytes, target=target,
+            payload=payload)
+        return t
+
+    # -- read --------------------------------------------------------------
+    def restore(self, name: str) -> tuple[dict[str, np.ndarray], int, float]:
+        """Returns (state, step, modelled read time)."""
+        record = self._records.get(name)
+        if record is None:
+            raise CheckpointError(f"no checkpoint named {name!r}")
+        if record.target == "nam":
+            t = self.nam.read_time(f"ckpt:{name}")
+        else:
+            handle = self.pfs.open(f"/ckpt/{name}")
+            t = self.pfs.read_time(handle)
+        state = pickle.loads(record.payload)
+        return state, record.step, t
+
+    def exists(self, name: str) -> bool:
+        return name in self._records
+
+    def drop(self, name: str) -> None:
+        record = self._records.pop(name, None)
+        if record is None:
+            raise CheckpointError(f"no checkpoint named {name!r}")
+        if record.target == "nam" and self.nam is not None:
+            self.nam.evict(f"ckpt:{name}")
+        elif record.target == "pfs" and self.pfs is not None:
+            self.pfs.unlink(f"/ckpt/{name}")
+
+    # -- the ref [12] comparison --------------------------------------------
+    def path_comparison(self, nbytes: int,
+                        concurrent_writers: int = 1) -> dict[str, float]:
+        """Modelled checkpoint write time via each attached path."""
+        out: dict[str, float] = {}
+        if self.nam is not None:
+            out["nam"] = nbytes / self.nam.write_Bps
+        if self.pfs is not None:
+            # PFS path: striped write, bandwidth shared among writers.
+            per_target = nbytes / max(self.pfs.default_stripe_count, 1)
+            effective = self.pfs.target_Bps / max(concurrent_writers, 1)
+            out["pfs"] = per_target / effective * 1.25
+        return out

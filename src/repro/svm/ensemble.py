@@ -1,0 +1,64 @@
+"""Bagged SVM ensembles over sub-samples.
+
+The quantum-annealer SVM experiments (Sec. III-C, ref [11]) are "limited by
+... the requirement to sub-sample from large quantities of data and using
+ensemble methods".  This module provides the classical half of that
+construction — an ensemble of SVMs trained on bootstrap sub-samples with
+decision-function averaging — reused by the QSVM as its aggregation layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.svm.smo import SVC
+
+
+class SvmEnsemble:
+    """Average the decision functions of SVMs trained on sub-samples."""
+
+    def __init__(self, n_members: int = 8, subsample_size: int = 50,
+                 C: float = 1.0, kernel: str = "rbf", seed: int = 0,
+                 **kernel_params) -> None:
+        if n_members < 1:
+            raise ValueError("need at least one member")
+        if subsample_size < 4:
+            raise ValueError("subsample_size too small")
+        self.n_members = n_members
+        self.subsample_size = subsample_size
+        self.seed = seed
+        self.svc_kwargs = dict(C=C, kernel=kernel, **kernel_params)
+        self.members_: list[SVC] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SvmEnsemble":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        n = X.shape[0]
+        size = min(self.subsample_size, n)
+        rng = np.random.default_rng(self.seed)
+        self.members_ = []
+        attempts = 0
+        while len(self.members_) < self.n_members:
+            attempts += 1
+            if attempts > 20 * self.n_members:
+                raise RuntimeError("could not draw class-balanced sub-samples")
+            idx = rng.choice(n, size=size, replace=False)
+            if len(np.unique(y[idx])) < 2:
+                continue  # need both classes in the sub-sample
+            machine = SVC(seed=self.seed + len(self.members_), **self.svc_kwargs)
+            machine.fit(X[idx], y[idx])
+            self.members_.append(machine)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if not self.members_:
+            raise RuntimeError("fit before predicting")
+        return np.mean([m.decision_function(X) for m in self.members_], axis=0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.where(self.decision_function(X) >= 0, 1.0, -1.0)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(X) == np.asarray(y)).mean())

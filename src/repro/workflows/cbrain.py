@@ -1,0 +1,134 @@
+"""CBRAIN ↔ JUWELS neuroscience interoperability (Sec. IV-C, HIBALL).
+
+"We enabled interoperability by using container technologies such as
+Singularity on JUWELS and Docker-based environments available in the CBRAIN
+resource execution managed by the Bourreau system ... that also includes
+the use of the DataLad tool for managing TB and PB of relevant BigBrain
+datasets."
+
+Model: a :class:`CbrainPortal` registers :class:`Bourreau` executors (one
+per computing site); a :class:`NeuroTool` ships as a Docker image; the
+portal converts it to the target runtime's format, verifies the tool's
+DataLad dataset is installed at the site, and routes execution — all
+preconfigured so "the user-friendly CBRAIN portal enables the use of the
+complex MSA-based system JUWELS without knowing the details".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.workflows.containers import (
+    ContainerError,
+    ContainerImage,
+    ContainerRuntime,
+    singularity_from_docker,
+)
+
+
+class CbrainError(RuntimeError):
+    """Raised for failed portal operations."""
+
+
+@dataclass(frozen=True)
+class DataLadDataset:
+    """A version-controlled dataset reference (content fetched lazily)."""
+
+    name: str
+    version: str
+    size_TB: float
+
+    @property
+    def ref(self) -> str:
+        return f"{self.name}@{self.version}"
+
+
+@dataclass
+class NeuroTool:
+    """A registered neuroscience tool (e.g. a BigBrain segmentation)."""
+
+    name: str
+    image: ContainerImage
+    requires_dataset: Optional[DataLadDataset] = None
+
+
+@dataclass
+class Bourreau:
+    """A CBRAIN execution server fronting one computing site."""
+
+    name: str
+    site: str                            # e.g. "JUWELS", "ComputeCanada"
+    runtime: ContainerRuntime
+    installed_datasets: dict[str, DataLadDataset] = field(default_factory=dict)
+    executions: list[str] = field(default_factory=list)
+
+    def install_dataset(self, ds: DataLadDataset) -> None:
+        self.installed_datasets[ds.ref] = ds
+
+    def execute(self, tool: NeuroTool) -> str:
+        image = tool.image
+        if image.format == "docker" and self.runtime.format == "singularity":
+            image = singularity_from_docker(image)
+        if tool.requires_dataset is not None and \
+                tool.requires_dataset.ref not in self.installed_datasets:
+            raise CbrainError(
+                f"{self.site}: dataset {tool.requires_dataset.ref} not "
+                "installed — run `datalad get` first"
+            )
+        token = self.runtime.run(image)
+        self.executions.append(f"{tool.name}@{self.site}")
+        return token
+
+
+class CbrainPortal:
+    """The user-facing portal: tools + bourreaux + transparent routing."""
+
+    def __init__(self) -> None:
+        self._tools: dict[str, NeuroTool] = {}
+        self._bourreaux: dict[str, Bourreau] = {}
+
+    def register_tool(self, tool: NeuroTool) -> None:
+        self._tools[tool.name] = tool
+
+    def register_bourreau(self, bourreau: Bourreau) -> None:
+        self._bourreaux[bourreau.site] = bourreau
+
+    @property
+    def sites(self) -> list[str]:
+        return sorted(self._bourreaux)
+
+    def runnable_sites(self, tool_name: str) -> list[str]:
+        """Sites where a tool can actually run (format/GPU/dataset checks)."""
+        tool = self._tool(tool_name)
+        out = []
+        for site, bourreau in sorted(self._bourreaux.items()):
+            image = tool.image
+            if image.format == "docker" and bourreau.runtime.format == "singularity":
+                image = singularity_from_docker(image)
+            ok, _ = bourreau.runtime.can_run(image)
+            if not ok:
+                continue
+            if tool.requires_dataset is not None and \
+                    tool.requires_dataset.ref not in bourreau.installed_datasets:
+                continue
+            out.append(site)
+        return out
+
+    def launch(self, tool_name: str, site: Optional[str] = None) -> str:
+        """Run a tool; the portal picks a site when none is given."""
+        tool = self._tool(tool_name)
+        candidates = self.runnable_sites(tool_name)
+        if not candidates:
+            raise CbrainError(f"no site can run {tool_name!r}")
+        chosen = site if site is not None else candidates[0]
+        if chosen not in candidates:
+            raise CbrainError(f"{chosen} cannot run {tool_name!r} "
+                              f"(candidates: {candidates})")
+        return self._bourreaux[chosen].execute(tool)
+
+    def _tool(self, name: str) -> NeuroTool:
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise CbrainError(f"tool {name!r} not registered") from None

@@ -1,0 +1,127 @@
+"""Hardware catalogue tests, including the Table I encoding."""
+
+import pytest
+
+from repro.core import (
+    DEEP_CM_NODE,
+    DEEP_DAM_NODE,
+    DEEP_ESB_NODE,
+    JUWELS_BOOSTER_NODE,
+    JUWELS_CLUSTER_GPU_NODE,
+    JUWELS_CLUSTER_NODE,
+    KNL_MANYCORE,
+    NVIDIA_A100,
+    NVIDIA_V100,
+    STRATIX10,
+    XEON_CASCADE_LAKE,
+    XEON_PLATINUM_8168,
+    CpuSpec,
+    GpuSpec,
+    MemorySpec,
+    NodeSpec,
+    StorageSpec,
+)
+
+
+class TestTableI:
+    """Table I of the paper, verbatim: the DEEP DAM node."""
+
+    def test_two_cascade_lake_sockets(self):
+        assert DEEP_DAM_NODE.cpu is XEON_CASCADE_LAKE
+        assert DEEP_DAM_NODE.cpu_sockets == 2
+        assert "Cascade Lake" in DEEP_DAM_NODE.cpu.name
+
+    def test_one_v100_gpu(self):
+        assert DEEP_DAM_NODE.gpu_count == 1
+        assert DEEP_DAM_NODE.gpus[0] is NVIDIA_V100
+
+    def test_one_stratix10_fpga_pcie3(self):
+        assert len(DEEP_DAM_NODE.fpgas) == 1
+        assert DEEP_DAM_NODE.fpgas[0] is STRATIX10
+        assert STRATIX10.pcie_gen == 3
+
+    def test_memory_384_ddr_32_fpga_32_hbm(self):
+        assert DEEP_DAM_NODE.memory.ddr_GB == 384.0
+        assert DEEP_DAM_NODE.memory.hbm_GB == 32.0       # GPU HBM2
+        assert STRATIX10.memory_GB == 32.0               # FPGA DDR4
+
+    def test_storage_2x_1p5_TB_nvme(self):
+        assert DEEP_DAM_NODE.storage.devices == 2
+        assert DEEP_DAM_NODE.storage.capacity_TB_each == 1.5
+        assert DEEP_DAM_NODE.storage.capacity_TB == 3.0
+
+    def test_nvm_2tb_per_node(self):
+        assert DEEP_DAM_NODE.memory.nvm_GB == 2048.0
+
+
+class TestCpuSpec:
+    def test_peak_flops(self):
+        cpu = CpuSpec(name="x", cores=10, clock_ghz=2.0, flops_per_cycle=16)
+        assert cpu.peak_flops == 10 * 2.0e9 * 16
+
+    def test_scalar_throughput(self):
+        assert XEON_PLATINUM_8168.scalar_ops_per_s == pytest.approx(
+            24 * 2.7e9 * XEON_PLATINUM_8168.scalar_ipc)
+
+    def test_manycore_weak_single_thread(self):
+        assert KNL_MANYCORE.single_thread_ops_per_s < \
+            XEON_PLATINUM_8168.single_thread_ops_per_s / 5
+
+    def test_manycore_strong_vector_throughput(self):
+        assert KNL_MANYCORE.peak_flops > XEON_CASCADE_LAKE.peak_flops
+
+
+class TestGpuSpec:
+    def test_a100_tensor_cores_2p5x_v100(self):
+        ratio = NVIDIA_A100.tensor_tflops / NVIDIA_V100.tensor_tflops
+        assert ratio == pytest.approx(2.5, rel=0.01)
+
+    def test_a100_memory_bandwidth_higher(self):
+        assert NVIDIA_A100.memory_bw_GBps > NVIDIA_V100.memory_bw_GBps
+
+    def test_tensor_flops_dwarf_fp32(self):
+        for gpu in (NVIDIA_A100, NVIDIA_V100):
+            assert gpu.tensor_flops > 5 * gpu.peak_flops
+
+
+class TestNodeSpec:
+    def test_cpu_cores_counts_sockets(self):
+        assert JUWELS_CLUSTER_NODE.cpu_cores == 48
+
+    def test_gpu_aggregates(self):
+        assert JUWELS_BOOSTER_NODE.gpu_count == 4
+        assert JUWELS_BOOSTER_NODE.gpu_tensor_flops == 4 * NVIDIA_A100.tensor_flops
+
+    def test_peak_watts_includes_all_components(self):
+        node = DEEP_DAM_NODE
+        expected = (node.idle_watts
+                    + 2 * XEON_CASCADE_LAKE.tdp_watts
+                    + NVIDIA_V100.tdp_watts
+                    + STRATIX10.tdp_watts)
+        assert node.peak_watts == pytest.approx(expected)
+
+    def test_booster_node_outpowers_cluster_node(self):
+        assert JUWELS_BOOSTER_NODE.peak_flops > 15 * JUWELS_CLUSTER_NODE.peak_flops
+
+    def test_with_name(self):
+        renamed = DEEP_CM_NODE.with_name("custom")
+        assert renamed.name == "custom"
+        assert renamed.cpu is DEEP_CM_NODE.cpu
+
+    def test_esb_node_is_manycore(self):
+        assert DEEP_ESB_NODE.cpu is KNL_MANYCORE
+        assert DEEP_ESB_NODE.gpu_count == 1
+
+
+class TestMemoryAndStorage:
+    def test_total_memory(self):
+        mem = MemorySpec(ddr_GB=100.0, hbm_GB=20.0, nvm_GB=1000.0)
+        assert mem.total_GB == 1120.0
+
+    def test_storage_capacity(self):
+        s = StorageSpec(devices=4, capacity_TB_each=2.0)
+        assert s.capacity_TB == 8.0
+
+    def test_cluster_gpu_node_has_4_v100(self):
+        assert JUWELS_CLUSTER_GPU_NODE.gpu_count == 4
+        assert all(g is NVIDIA_V100 for g in JUWELS_CLUSTER_GPU_NODE.gpus)

@@ -1,0 +1,228 @@
+"""The Dask-like delayed engine and the Horovod-style timeline."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analytics import Delayed, compute, delayed
+from repro.distributed import Timeline, merge_timelines
+from repro.mpi import run_spmd
+from repro.mpi.runtime import spmd_sim_times
+
+
+# ---------------------------------------------------------------------------
+# delayed task graphs
+# ---------------------------------------------------------------------------
+
+class TestDelayed:
+    def test_laziness(self):
+        calls = []
+
+        @_spy_list(calls)
+        def work(x):
+            return x + 1
+
+        node = delayed(work)(1)
+        assert calls == []                 # nothing ran
+        assert node.compute() == 2
+        assert calls == [1]
+
+    def test_chained_graph(self):
+        inc = delayed(lambda x: x + 1, name="inc")
+        double = delayed(lambda x: x * 2, name="double")
+        out = double(inc(inc(3)))
+        assert out.compute() == 10
+
+    def test_diamond_computes_shared_node_once(self):
+        calls = []
+
+        def expensive(x):
+            calls.append(x)
+            return x * 10
+
+        shared = delayed(expensive)(2)
+        left = delayed(lambda v: v + 1)(shared)
+        right = delayed(lambda v: v + 2)(shared)
+        total = delayed(lambda a, b: a + b)(left, right)
+        assert total.compute() == 43
+        assert calls == [2]                 # the diamond property
+
+    def test_kwargs_dependencies(self):
+        node = delayed(lambda a, b=0: a - b)(10, b=delayed(lambda: 3)())
+        assert node.compute() == 7
+
+    def test_operator_sugar(self):
+        a = delayed(lambda: 2)()
+        b = delayed(lambda: 3)()
+        assert (a + b).compute() == 5
+        assert (a * b).compute() == 6
+        assert (1 + a).compute() == 3
+        assert (4 * b).compute() == 12
+
+    def test_compute_many_shares_cache(self):
+        calls = []
+
+        def base():
+            calls.append(1)
+            return 5
+
+        shared = delayed(base)()
+        x = delayed(lambda v: v + 1)(shared)
+        y = delayed(lambda v: v * 2)(shared)
+        out = compute(x, y)
+        assert out == (6, 10)
+        assert len(calls) == 1
+
+    def test_compute_passes_plain_values_through(self):
+        assert compute(delayed(lambda: 1)(), 42) == (1, 42)
+
+    def test_parallel_matches_serial(self):
+        rng = np.random.default_rng(0)
+        mats = [rng.normal(size=(40, 40)) for _ in range(6)]
+        prods = [delayed(np.matmul)(m, m) for m in mats]
+        total = delayed(lambda *xs: float(sum(x.sum() for x in xs)))(*prods)
+        serial = total.compute(n_workers=1)
+        parallel = total.compute(n_workers=4)
+        assert serial == pytest.approx(parallel)
+
+    def test_parallel_runs_independent_branches_concurrently(self):
+        started = []
+
+        def slow(tag):
+            started.append(tag)
+            time.sleep(0.05)
+            return tag
+
+        branches = [delayed(slow)(i) for i in range(4)]
+        gather = delayed(lambda *xs: sum(xs))(*branches)
+        t0 = time.perf_counter()
+        assert gather.compute(n_workers=4) == 6
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 0.05 * 4          # overlap happened
+
+    def test_parallel_error_propagates(self):
+        bad = delayed(lambda: 1 / 0)()
+        out = delayed(lambda v: v)(bad)
+        with pytest.raises(ZeroDivisionError):
+            out.compute(n_workers=2)
+
+    def test_repr(self):
+        assert "inc" in repr(delayed(lambda x: x, name="inc")(1))
+
+
+def _spy_list(calls):
+    def decorator(fn):
+        def wrapper(*args):
+            calls.append(*args)
+            return fn(*args)
+        return wrapper
+    return decorator
+
+
+# ---------------------------------------------------------------------------
+# timeline
+# ---------------------------------------------------------------------------
+
+class TestTimeline:
+    def test_records_comm_and_compute(self):
+        def fn(comm):
+            tl = Timeline(comm)
+            tl.mark_compute("forward", 0.010)
+            tl.record("allreduce", "comm", comm.allreduce,
+                      np.ones(10_000), nbytes=80_000)
+            tl.mark_compute("optimizer", 0.002)
+            return (len(tl.events), tl.total("compute"),
+                    tl.total("comm") > 0, tl.comm_fraction())
+
+        out = run_spmd(fn, 4)
+        for n_events, compute_total, has_comm, frac in out:
+            assert n_events == 3
+            assert compute_total == pytest.approx(0.012)
+            assert has_comm
+            assert 0.0 < frac < 1.0
+
+    def test_events_carry_simulated_times(self):
+        def fn(comm):
+            tl = Timeline(comm)
+            tl.mark_compute("a", 0.5)
+            tl.mark_compute("b", 0.25)
+            return [(e.name, e.start_s, e.duration_s) for e in tl.events]
+
+        events = run_spmd(fn, 1)[0]
+        assert events[0] == ("a", 0.0, 0.5)
+        assert events[1] == ("b", 0.5, 0.25)
+
+    def test_chrome_trace_structure(self):
+        def fn(comm):
+            tl = Timeline(comm)
+            tl.mark_compute("step", 0.001)
+            return tl.to_chrome_trace()
+
+        trace = run_spmd(fn, 2)[1]
+        event = trace["traceEvents"][0]
+        assert event["ph"] == "X"
+        assert event["tid"] == 1
+        assert event["dur"] == pytest.approx(1000.0)   # µs
+
+    def test_json_serialisable(self):
+        import json
+
+        def fn(comm):
+            tl = Timeline(comm)
+            tl.mark_compute("x", 0.001)
+            return tl.to_json()
+
+        payload = run_spmd(fn, 1)[0]
+        assert json.loads(payload)["displayTimeUnit"] == "ms"
+
+    def test_merge_orders_by_time(self):
+        def fn(comm):
+            tl = Timeline(comm)
+            tl.mark_compute("w", 0.001 * (comm.rank + 1))
+            tl.record("sync", "comm", comm.barrier)
+            return tl
+
+        timelines = run_spmd(fn, 3)
+        merged = merge_timelines(timelines)
+        stamps = [e["ts"] for e in merged["traceEvents"]]
+        assert stamps == sorted(stamps)
+        assert len(merged["traceEvents"]) == 6
+
+    def test_by_name(self):
+        def fn(comm):
+            tl = Timeline(comm)
+            tl.mark_compute("fwd", 0.001)
+            tl.mark_compute("fwd", 0.001)
+            tl.mark_compute("bwd", 0.002)
+            return len(tl.by_name("fwd"))
+
+        assert run_spmd(fn, 1) == [2]
+
+    def test_training_loop_timeline_shows_comm_growth(self):
+        """The instrument the paper's [20]-style tuning relies on: comm
+        fraction visibly grows with the worker count."""
+        from repro.distributed import DistributedOptimizer, broadcast_parameters
+        from repro.ml import SGD, Tensor, cross_entropy
+        from repro.ml.models import MLP
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(32, 2))
+        y = (X[:, 0] > 0).astype(int)
+
+        def fn(comm):
+            model = MLP([2, 16, 2], seed=0)
+            broadcast_parameters(model, comm)
+            opt = DistributedOptimizer(SGD(model.parameters(), lr=0.1), comm)
+            tl = Timeline(comm)
+            for _ in range(3):
+                tl.mark_compute("fwd+bwd", 0.005)
+                loss = cross_entropy(model(Tensor(X)), y)
+                opt.zero_grad()
+                loss.backward()
+                tl.record("allreduce", "comm", opt.step)
+            return tl.comm_fraction()
+
+        frac2 = run_spmd(fn, 2)[0]
+        frac8 = run_spmd(fn, 8)[0]
+        assert frac8 > frac2

@@ -1,0 +1,183 @@
+"""Layers: parameter discovery, modes, state dicts, normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+    Tensor,
+)
+from repro.ml.layers import he_init, xavier_init
+
+rng = np.random.default_rng(0)
+
+
+class TestDense:
+    def test_shapes(self):
+        layer = Dense(4, 3)
+        out = layer(Tensor(rng.normal(size=(5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Dense(4, 3, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_linear_in_input(self):
+        layer = Dense(3, 2, bias=False)
+        x = rng.normal(size=(2, 3))
+        a = layer(Tensor(x)).data
+        b = layer(Tensor(2 * x)).data
+        np.testing.assert_allclose(b, 2 * a)
+
+
+class TestModuleDiscovery:
+    def test_nested_parameters_found(self):
+        model = Sequential(Dense(3, 4), ReLU(), Dense(4, 2))
+        names = [n for n, _ in model.named_parameters()]
+        assert "layers.0.weight" in names
+        assert "layers.2.bias" in names
+        assert len(model.parameters()) == 4
+
+    def test_n_parameters(self):
+        model = Dense(3, 4)
+        assert model.n_parameters() == 3 * 4 + 4
+
+    def test_zero_grad_clears_all(self):
+        model = Sequential(Dense(2, 2), Dense(2, 1))
+        out = model(Tensor(rng.normal(size=(3, 2)))).sum()
+        out.backward()
+        assert any(p.grad is not None for p in model.parameters())
+        model.zero_grad()
+        assert all(p.grad is None for p in model.parameters())
+
+    def test_train_eval_propagates(self):
+        model = Sequential(Dense(2, 2), Dropout(0.5), Sequential(Dropout(0.3)))
+        model.eval()
+        assert not model.layers[1].training
+        assert not model.layers[2].layers[0].training
+        model.train()
+        assert model.layers[1].training
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = Sequential(Dense(3, 4), BatchNorm(4))
+        b = Sequential(Dense(3, 4, rng=np.random.default_rng(99)), BatchNorm(4))
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_includes_batchnorm_buffers(self):
+        bn = BatchNorm(3)
+        state = bn.state_dict()
+        assert any("running_mean" in k for k in state)
+
+    def test_mismatch_raises(self):
+        a = Dense(3, 4)
+        b = Dense(3, 5)
+        with pytest.raises((KeyError, ValueError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_unknown_key_raises(self):
+        a = Dense(3, 4)
+        state = a.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self):
+        bn = BatchNorm(4)
+        x = Tensor(rng.normal(5.0, 3.0, size=(64, 4)))
+        out = bn(x).data
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_4d_input(self):
+        bn = BatchNorm(3)
+        out = bn(Tensor(rng.normal(size=(2, 3, 5, 5)))).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+
+    def test_running_stats_converge(self):
+        bn = BatchNorm(2, momentum=0.5)
+        for _ in range(20):
+            bn(Tensor(rng.normal(3.0, 1.0, size=(128, 2))))
+        assert bn.running_mean == pytest.approx([3.0, 3.0], abs=0.3)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm(2, momentum=0.0)
+        bn(Tensor(rng.normal(10.0, 2.0, size=(256, 2))))
+        bn.eval()
+        x = Tensor(np.full((4, 2), 10.0))
+        out = bn(x).data
+        np.testing.assert_allclose(out, 0.0, atol=0.5)
+
+    def test_gamma_beta_trainable(self):
+        bn = BatchNorm(3)
+        out = bn(Tensor(rng.normal(size=(8, 3)), requires_grad=True)).sum()
+        out.backward()
+        assert bn.gamma.grad is not None
+        assert bn.beta.grad is not None
+
+
+class TestActivationsAndShapes:
+    def test_activation_layers(self):
+        x = Tensor(rng.normal(size=(3, 3)))
+        assert (ReLU()(x).data >= 0).all()
+        assert (np.abs(Tanh()(x).data) <= 1).all()
+        assert ((Sigmoid()(x).data > 0) & (Sigmoid()(x).data < 1)).all()
+
+    def test_flatten(self):
+        out = Flatten()(Tensor(np.ones((2, 3, 4))))
+        assert out.shape == (2, 12)
+
+    def test_maxpool_layer(self):
+        out = MaxPool2D(2)(Tensor(np.ones((1, 1, 4, 4))))
+        assert out.shape == (1, 1, 2, 2)
+
+    def test_global_avg_pool_layer(self):
+        out = GlobalAvgPool2D()(Tensor(np.ones((2, 3, 4, 4))))
+        assert out.shape == (2, 3)
+
+    def test_sequential_append_and_index(self):
+        model = Sequential(Dense(2, 2))
+        model.append(ReLU())
+        assert len(model) == 2
+        assert isinstance(model[1], ReLU)
+
+
+class TestDropoutLayer:
+    def test_deterministic_stream(self):
+        a = Dropout(0.5, seed=3)
+        b = Dropout(0.5, seed=3)
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_array_equal(a(x).data, b(x).data)
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.5)
+
+
+class TestInit:
+    def test_he_variance(self):
+        w = he_init(np.random.default_rng(0), (2000, 100), fan_in=100)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 100), rel=0.05)
+
+    def test_xavier_bounds(self):
+        w = xavier_init(np.random.default_rng(0), (100, 100), 100, 100)
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(w).max() <= limit

@@ -1,0 +1,202 @@
+"""GRU layers, loss functions and optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Adam,
+    GRU,
+    GRUCell,
+    LinearWarmupSchedule,
+    SGD,
+    Tensor,
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    l2_regularisation,
+    mae,
+    mse,
+)
+from repro.ml.layers import Dense, Parameter
+from tests.test_ml_tensor import check_grad
+
+rng = np.random.default_rng(1)
+
+
+class TestGRU:
+    def test_cell_shapes(self):
+        cell = GRUCell(3, 5)
+        h = cell(Tensor(rng.normal(size=(2, 3))), Tensor(np.zeros((2, 5))))
+        assert h.shape == (2, 5)
+
+    def test_layer_last_state(self):
+        gru = GRU(3, 4)
+        out = gru(Tensor(rng.normal(size=(2, 6, 3))))
+        assert out.shape == (2, 4)
+
+    def test_layer_sequences(self):
+        gru = GRU(3, 4, return_sequences=True)
+        out = gru(Tensor(rng.normal(size=(2, 6, 3))))
+        assert out.shape == (2, 6, 4)
+
+    def test_hidden_bounded_by_tanh(self):
+        gru = GRU(2, 3)
+        out = gru(Tensor(rng.normal(size=(4, 20, 2)) * 5))
+        assert np.abs(out.data).max() <= 1.0 + 1e-9
+
+    def test_zero_input_zero_initial_state_stays_bounded(self):
+        gru = GRU(2, 3)
+        out = gru(Tensor(np.zeros((1, 5, 2))))
+        assert np.isfinite(out.data).all()
+
+    def test_gradients_flow_through_time(self):
+        gru = GRU(2, 3, rng=np.random.default_rng(5))
+        x = Tensor(rng.normal(size=(2, 4, 2)), requires_grad=True)
+        (gru(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad[:, 0, :]).sum() > 0  # reaches the first step
+
+    def test_gradient_check_small(self):
+        gru = GRU(2, 3, rng=np.random.default_rng(5))
+
+        def build(x):
+            return (gru(x) ** 2).sum()
+
+        check_grad(build, rng.normal(size=(1, 3, 2)), atol=1e-4)
+
+    def test_custom_initial_state(self):
+        gru = GRU(2, 3)
+        h0 = Tensor(np.ones((2, 3)))
+        out = gru(Tensor(np.zeros((2, 1, 2))), h0=h0)
+        assert out.shape == (2, 3)
+
+
+class TestLosses:
+    def test_cross_entropy_uniform(self):
+        logits = Tensor(np.zeros((4, 3)))
+        loss = cross_entropy(logits, np.array([0, 1, 2, 0]))
+        assert loss.item() == pytest.approx(np.log(3))
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.eye(3) * 100)
+        loss = cross_entropy(logits, np.array([0, 1, 2]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-6)
+
+    def test_cross_entropy_gradient(self):
+        labels = np.array([0, 2, 1])
+        check_grad(lambda a: cross_entropy(a, labels),
+                   rng.normal(size=(3, 3)))
+
+    def test_bce_matches_reference(self):
+        logits = rng.normal(size=(5, 4))
+        targets = rng.integers(0, 2, size=(5, 4))
+        loss = binary_cross_entropy_with_logits(Tensor(logits), targets)
+        p = 1 / (1 + np.exp(-logits))
+        ref = -(targets * np.log(p) + (1 - targets) * np.log(1 - p)).mean()
+        assert loss.item() == pytest.approx(ref, rel=1e-9)
+
+    def test_bce_stable_for_extreme_logits(self):
+        logits = Tensor(np.array([[500.0, -500.0]]))
+        loss = binary_cross_entropy_with_logits(logits, np.array([[1, 0]]))
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_mse_and_mae_values(self):
+        pred = Tensor(np.array([[1.0], [3.0]]))
+        target = np.array([[0.0], [0.0]])
+        assert mse(pred, target).item() == pytest.approx(5.0)
+        assert mae(pred, target).item() == pytest.approx(2.0)
+
+    def test_masked_losses_ignore_unobserved(self):
+        pred = Tensor(np.array([[1.0], [100.0]]))
+        target = np.array([[0.0], [0.0]])
+        mask = np.array([[1.0], [0.0]])
+        assert mae(pred, target, mask).item() == pytest.approx(1.0)
+        assert mse(pred, target, mask).item() == pytest.approx(1.0)
+
+    def test_l2_regularisation(self):
+        params = [Parameter(np.array([3.0, 4.0]))]
+        assert l2_regularisation(params, 0.1).item() == pytest.approx(2.5)
+        assert l2_regularisation([], 0.1).item() == 0.0
+
+
+class TestOptimisers:
+    def _quadratic(self, opt_factory, steps=200):
+        """Minimise ||x - 3||²; returns final x."""
+        p = Parameter(np.array([0.0]))
+        opt = opt_factory([p])
+        for _ in range(steps):
+            loss = ((p - 3.0) ** 2).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return float(p.data[0])
+
+    def test_sgd_converges(self):
+        assert self._quadratic(lambda ps: SGD(ps, lr=0.1)) == pytest.approx(3.0, abs=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic(
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9)) == pytest.approx(3.0, abs=1e-3)
+
+    def test_sgd_nesterov(self):
+        assert self._quadratic(
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9, nesterov=True)
+        ) == pytest.approx(3.0, abs=1e-3)
+
+    def test_adam_converges(self):
+        assert self._quadratic(
+            lambda ps: Adam(ps, lr=0.1), steps=400) == pytest.approx(3.0, abs=1e-3)
+
+    def test_weight_decay_shrinks_solution(self):
+        no_wd = self._quadratic(lambda ps: SGD(ps, lr=0.1))
+        wd = self._quadratic(lambda ps: SGD(ps, lr=0.1, weight_decay=0.5))
+        assert abs(wd) < abs(no_wd)
+
+    def test_nesterov_without_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.zeros(1))], lr=0.1, nesterov=True)
+
+    def test_bad_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_none_grads_skipped(self):
+        p1 = Parameter(np.zeros(2))
+        p2 = Parameter(np.zeros(2))
+        opt = SGD([p1, p2], lr=0.1)
+        p1.grad = np.ones(2)
+        opt.step()
+        np.testing.assert_array_equal(p2.data, 0.0)
+        assert (p1.data != 0).all()
+
+    def test_step_count(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=0.1)
+        opt.step()
+        opt.step()
+        assert opt.step_count == 2
+
+
+class TestWarmup:
+    def test_linear_ramp_then_constant(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        sched = LinearWarmupSchedule(opt, base_lr=0.1, target_lr=1.0,
+                                     warmup_steps=10)
+        assert opt.lr == pytest.approx(0.1)
+        lrs = [sched.step() for _ in range(12)]
+        assert lrs[4] < lrs[8] < lrs[9]
+        assert lrs[-1] == pytest.approx(1.0)
+        assert lrs[-2] == pytest.approx(1.0)
+
+    def test_zero_warmup_starts_at_target(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        LinearWarmupSchedule(opt, 0.1, 0.5, warmup_steps=0)
+        assert opt.lr == pytest.approx(0.5)
+
+    def test_negative_warmup_rejected(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=1.0)
+        with pytest.raises(ValueError):
+            LinearWarmupSchedule(opt, 0.1, 0.5, warmup_steps=-1)

@@ -1,0 +1,213 @@
+"""Point-to-point messaging, SPMD runtime, communicator management."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, run_spmd, SpmdFailure
+from repro.mpi.runtime import spmd_sim_times
+from repro.mpi.transport import payload_nbytes
+
+
+def test_world_size_one_runs_inline():
+    assert run_spmd(lambda comm: comm.rank, 1) == [0]
+
+
+def test_rank_and_size():
+    out = run_spmd(lambda comm: (comm.Get_rank(), comm.Get_size()), 4)
+    assert out == [(0, 4), (1, 4), (2, 4), (3, 4)]
+
+
+def test_send_recv_object():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send({"a": 7, "b": 3.14}, dest=1, tag=11)
+            return None
+        return comm.recv(source=0, tag=11)
+
+    out = run_spmd(fn, 2)
+    assert out[1] == {"a": 7, "b": 3.14}
+
+
+def test_send_recv_numpy_buffer():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.arange(10, dtype=np.float64), dest=1)
+            return None
+        buf = np.empty(10)
+        comm.Recv(buf, source=0)
+        return buf
+
+    out = run_spmd(fn, 2)
+    assert np.array_equal(out[1], np.arange(10))
+
+
+def test_isend_returns_completed_request():
+    def fn(comm):
+        if comm.rank == 0:
+            req = comm.isend("x", dest=1)
+            req.wait()
+            assert req.test() == (True, None)
+        else:
+            return comm.recv(source=0)
+
+    out = run_spmd(fn, 2)
+    assert out[1] == "x"
+
+
+def test_sendrecv_ring_rotation():
+    def fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        return comm.sendrecv(comm.rank, dest=right, source=left)
+
+    out = run_spmd(fn, 5)
+    assert out == [4, 0, 1, 2, 3]
+
+
+def test_any_source_any_tag():
+    def fn(comm):
+        if comm.rank == 0:
+            got = [comm.recv(source=ANY_SOURCE, tag=ANY_TAG) for _ in range(2)]
+            return sorted(got)
+        comm.send(comm.rank * 100, dest=0, tag=comm.rank)
+        return None
+
+    out = run_spmd(fn, 3)
+    assert out[0] == [100, 200]
+
+
+def test_tag_matching_out_of_order():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send("first", dest=1, tag=1)
+            comm.send("second", dest=1, tag=2)
+            return None
+        second = comm.recv(source=0, tag=2)
+        first = comm.recv(source=0, tag=1)
+        return (first, second)
+
+    out = run_spmd(fn, 2)
+    assert out[1] == ("first", "second")
+
+
+def test_probe():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.send(1, dest=1, tag=5)
+            return None
+        while not comm.probe(source=0, tag=5):
+            pass
+        return comm.recv(source=0, tag=5)
+
+    assert run_spmd(fn, 2)[1] == 1
+
+
+def test_exception_propagates_and_unblocks():
+    def fn(comm):
+        if comm.rank == 0:
+            raise RuntimeError("boom")
+        comm.recv(source=0)  # would deadlock without abort propagation
+
+    with pytest.raises(SpmdFailure) as exc:
+        run_spmd(fn, 2)
+    assert exc.value.rank == 0
+
+
+def test_user_tag_range_enforced():
+    def fn(comm):
+        comm.send("x", dest=comm.rank, tag=1 << 21)
+
+    with pytest.raises(SpmdFailure):
+        run_spmd(fn, 2)
+
+
+def test_invalid_world_size():
+    with pytest.raises(ValueError):
+        run_spmd(lambda comm: None, 0)
+
+
+def test_rank_args():
+    out = run_spmd(lambda comm, x: x * 2, 3, rank_args=[(1,), (2,), (3,)])
+    assert out == [2, 4, 6]
+
+
+def test_traffic_counters():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.zeros(100), dest=1)
+        elif comm.rank == 1:
+            buf = np.empty(100)
+            comm.Recv(buf, source=0)
+        return (comm.state.bytes_sent, comm.state.bytes_received)
+
+    out = run_spmd(fn, 2)
+    assert out[0][0] == 800
+    assert out[1][1] == 800
+
+
+class TestSplitDup:
+    def test_split_by_parity(self):
+        def fn(comm):
+            sub = comm.Split(color=comm.rank % 2, key=comm.rank)
+            return (sub.rank, sub.size, sub.allreduce(comm.rank))
+
+        out = run_spmd(fn, 6)
+        evens = sum(r for r in range(6) if r % 2 == 0)
+        odds = sum(r for r in range(6) if r % 2 == 1)
+        for rank, (sub_rank, sub_size, total) in enumerate(out):
+            assert sub_size == 3
+            assert total == (evens if rank % 2 == 0 else odds)
+
+    def test_split_key_orders_ranks(self):
+        def fn(comm):
+            # Reverse the ordering within one color.
+            sub = comm.Split(color=0, key=-comm.rank)
+            return sub.rank
+
+        out = run_spmd(fn, 4)
+        assert out == [3, 2, 1, 0]
+
+    def test_split_negative_color_returns_none(self):
+        def fn(comm):
+            sub = comm.Split(color=-1 if comm.rank == 0 else 0)
+            if comm.rank == 0:
+                return sub is None
+            return sub.size
+
+        out = run_spmd(fn, 3)
+        assert out[0] is True
+        assert out[1] == 2
+
+    def test_dup_isolates_traffic(self):
+        def fn(comm):
+            dup = comm.Dup()
+            if comm.rank == 0:
+                comm.send("world", dest=1, tag=3)
+                dup.send("dup", dest=1, tag=3)
+                return None
+            # Same (source, tag) on two communicators stays separated.
+            from_dup = dup.recv(source=0, tag=3)
+            from_world = comm.recv(source=0, tag=3)
+            return (from_world, from_dup)
+
+        out = run_spmd(fn, 2)
+        assert out[1] == ("world", "dup")
+
+
+class TestPayloadSize:
+    def test_ndarray(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.float64)) == 80
+
+    def test_bytes(self):
+        assert payload_nbytes(b"12345") == 5
+
+    def test_object_is_pickle_size(self):
+        assert payload_nbytes({"k": 1}) > 0
+
+
+def test_spmd_sim_times_reports_clocks():
+    def fn(comm):
+        comm.allreduce(np.ones(1000))
+
+    _, times = spmd_sim_times(fn, 4)
+    assert all(t > 0 for t in times)

@@ -1,0 +1,109 @@
+"""The simulated clock: messages advance logical time per the fabric model."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.mpi.runtime import spmd_sim_times
+from repro.simnet import CommCostModel, LinkKind
+
+
+def test_compute_advances_clock():
+    def fn(comm):
+        comm.compute(1.5)
+        comm.compute(0.5)
+        return comm.sim_time
+
+    assert run_spmd(fn, 1) == [2.0]
+
+
+def test_negative_compute_rejected():
+    from repro.mpi import SpmdFailure
+
+    with pytest.raises(SpmdFailure):
+        run_spmd(lambda comm: comm.compute(-1.0), 2)
+
+
+def test_message_charges_link_cost():
+    model = CommCostModel.of_kind(LinkKind.INFINIBAND_HDR)
+
+    def fn(comm):
+        if comm.rank == 0:
+            comm.Send(np.zeros(125_000), dest=1)   # 1 MB
+        else:
+            buf = np.empty(125_000)
+            comm.Recv(buf, source=0)
+        return comm.sim_time
+
+    _, times = spmd_sim_times(fn, 2, cost_model=model)
+    expected = model.ptp(1_000_000)
+    assert times[1] == pytest.approx(expected, rel=0.01)
+
+
+def test_receiver_never_ahead_of_sender_plus_cost():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.compute(1.0)
+            comm.send("late", dest=1)
+        else:
+            comm.recv(source=0)
+        return comm.sim_time
+
+    _, times = spmd_sim_times(fn, 2)
+    # Receiver's clock must include the sender's 1 s of compute.
+    assert times[1] >= 1.0
+
+
+def test_bigger_payload_takes_longer():
+    def fn(comm, n):
+        comm.allreduce(np.ones(n))
+        return comm.sim_time
+
+    _, t_small = spmd_sim_times(fn, 4, args=(1_000,))
+    _, t_big = spmd_sim_times(fn, 4, args=(1_000_000,))
+    assert max(t_big) > max(t_small)
+
+
+def test_more_ranks_cost_more_latency():
+    def fn(comm):
+        comm.allreduce(np.ones(64))
+        return comm.sim_time
+
+    _, t2 = spmd_sim_times(fn, 2)
+    _, t8 = spmd_sim_times(fn, 8)
+    assert max(t8) > max(t2)
+
+
+def test_slower_fabric_slower_clock():
+    def fn(comm):
+        comm.allreduce(np.ones(500_000))
+        return comm.sim_time
+
+    fast = CommCostModel.of_kind(LinkKind.INFINIBAND_HDR)
+    slow = CommCostModel.of_kind(LinkKind.ETHERNET_100G)
+    _, t_fast = spmd_sim_times(fn, 4, cost_model=fast)
+    _, t_slow = spmd_sim_times(fn, 4, cost_model=slow)
+    assert max(t_slow) > max(t_fast)
+
+
+def test_comm_and_compute_time_accounted_separately():
+    def fn(comm):
+        comm.compute(0.25)
+        comm.allreduce(np.ones(10_000))
+        return (comm.state.compute_time, comm.state.comm_time)
+
+    out = run_spmd(fn, 4)
+    for compute, comm_t in out:
+        assert compute == pytest.approx(0.25)
+        assert comm_t > 0
+
+
+def test_sim_clock_deterministic():
+    def fn(comm):
+        comm.allreduce(np.ones(4096))
+        comm.bcast("x" if comm.rank == 0 else None)
+        return comm.sim_time
+
+    _, t1 = spmd_sim_times(fn, 4)
+    _, t2 = spmd_sim_times(fn, 4)
+    assert t1 == t2

@@ -1,0 +1,170 @@
+"""Tests for interconnect topologies and the MSA federation."""
+
+import pytest
+
+from repro.simnet import (
+    Link,
+    LinkKind,
+    fat_tree,
+    torus_3d,
+    dragonfly,
+    fully_connected,
+    federated,
+)
+
+
+class TestLink:
+    def test_transfer_time_is_alpha_beta(self):
+        link = Link.of_kind(LinkKind.INFINIBAND_HDR)
+        t = link.transfer_time(1_000_000)
+        assert t == pytest.approx(link.latency_s + 1e6 / link.bandwidth_Bps)
+
+    def test_zero_bytes_costs_latency_only(self):
+        link = Link.of_kind(LinkKind.EXTOLL)
+        assert link.transfer_time(0) == link.latency_s
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            Link.of_kind(LinkKind.NVLINK).transfer_time(-1)
+
+    def test_effective_bandwidth_below_peak(self):
+        link = Link.of_kind(LinkKind.INFINIBAND_EDR)
+        assert link.effective_bandwidth(1000) < link.bandwidth_Bps
+
+    def test_hdr_is_faster_than_edr(self):
+        edr = Link.of_kind(LinkKind.INFINIBAND_EDR)
+        hdr = Link.of_kind(LinkKind.INFINIBAND_HDR)
+        assert hdr.transfer_time(10**8) < edr.transfer_time(10**8)
+
+    def test_nvlink_beats_pcie(self):
+        nv = Link.of_kind(LinkKind.NVLINK)
+        pcie = Link.of_kind(LinkKind.PCIE3)
+        assert nv.bandwidth_Bps > pcie.bandwidth_Bps
+
+
+class TestFatTree:
+    def test_node_count(self):
+        topo = fat_tree(40, LinkKind.INFINIBAND_EDR, radix=16)
+        assert len(topo.terminals) == 40
+        # 3 leaves + 1 spine
+        assert len(topo.switches) == 4
+
+    def test_same_leaf_two_hops(self):
+        topo = fat_tree(32, LinkKind.INFINIBAND_EDR, radix=16)
+        assert topo.hop_count(("node", 0), ("node", 1)) == 2
+
+    def test_cross_leaf_four_hops(self):
+        topo = fat_tree(32, LinkKind.INFINIBAND_EDR, radix=16)
+        assert topo.hop_count(("node", 0), ("node", 20)) == 4
+
+    def test_uplink_not_bottleneck(self):
+        # The fat uplink should leave the access link as the bottleneck.
+        topo = fat_tree(32, LinkKind.INFINIBAND_EDR, radix=16)
+        access_bw = Link.of_kind(LinkKind.INFINIBAND_EDR).bandwidth_Bps
+        assert topo.path_bandwidth(("node", 0), ("node", 20)) == access_bw
+
+    def test_transfer_time_self_is_zero(self):
+        topo = fat_tree(8, LinkKind.INFINIBAND_EDR)
+        assert topo.transfer_time(("node", 3), ("node", 3), 1e9) == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            fat_tree(0, LinkKind.INFINIBAND_EDR)
+        with pytest.raises(ValueError):
+            fat_tree(4, LinkKind.INFINIBAND_EDR, radix=1)
+
+
+class TestTorus:
+    def test_node_count(self):
+        topo = torus_3d((3, 3, 3), LinkKind.EXTOLL)
+        assert len(topo.terminals) == 27
+
+    def test_wraparound_is_one_hop(self):
+        topo = torus_3d((4, 1, 1), LinkKind.EXTOLL)
+        assert topo.hop_count(("node", 0, 0, 0), ("node", 3, 0, 0)) == 1
+
+    def test_max_distance_is_half_ring(self):
+        topo = torus_3d((6, 1, 1), LinkKind.EXTOLL)
+        assert topo.hop_count(("node", 0, 0, 0), ("node", 3, 0, 0)) == 3
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            torus_3d((0, 2, 2), LinkKind.EXTOLL)
+
+
+class TestDragonfly:
+    def test_structure(self):
+        topo = dragonfly(4, 8, LinkKind.INFINIBAND_HDR)
+        assert len(topo.terminals) == 32
+        assert len(topo.switches) == 4
+
+    def test_inter_group_three_hops(self):
+        topo = dragonfly(3, 4, LinkKind.INFINIBAND_HDR)
+        assert topo.hop_count(("node", 0, 0), ("node", 2, 1)) == 3
+
+
+class TestFullyConnected:
+    def test_all_pairs_one_hop(self):
+        topo = fully_connected(6, LinkKind.NVLINK)
+        for i in range(6):
+            for j in range(6):
+                if i != j:
+                    assert topo.hop_count(("node", i), ("node", j)) == 1
+
+
+class TestFederation:
+    def _msa(self):
+        return federated({
+            "cm": fat_tree(8, LinkKind.INFINIBAND_EDR, name="cm"),
+            "esb": fat_tree(16, LinkKind.INFINIBAND_HDR, name="esb"),
+        })
+
+    def test_terminals_preserved(self):
+        topo = self._msa()
+        assert len(topo.terminals) == 24
+
+    def test_intra_module_path_avoids_federation(self):
+        topo = self._msa()
+        path = topo.path(("cm", ("node", 0)), ("cm", ("node", 1)))
+        assert ("federation", 0) not in path
+
+    def test_inter_module_path_crosses_federation(self):
+        topo = self._msa()
+        path = topo.path(("cm", ("node", 0)), ("esb", ("node", 0)))
+        assert ("federation", 0) in path
+
+    def test_inter_module_slower_than_intra(self):
+        topo = self._msa()
+        intra = topo.transfer_time(("cm", ("node", 0)), ("cm", ("node", 1)), 1e8)
+        inter = topo.transfer_time(("cm", ("node", 0)), ("esb", ("node", 0)), 1e8)
+        assert inter > intra
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(ValueError):
+            federated({})
+
+    def test_bisection_links_positive(self):
+        assert self._msa().bisection_links() > 0
+
+
+class TestCongestion:
+    def test_concurrent_flows_share_bottleneck(self):
+        topo = fat_tree(16, LinkKind.INFINIBAND_EDR)
+        alone = topo.transfer_time(("node", 0), ("node", 9), 1e9)
+        shared = topo.transfer_time(("node", 0), ("node", 9), 1e9,
+                                    concurrent_flows=4)
+        assert shared > alone * 3
+        assert shared < alone * 5
+
+    def test_latency_unaffected_by_congestion(self):
+        topo = fat_tree(8, LinkKind.INFINIBAND_EDR)
+        lat = topo.path_latency(("node", 0), ("node", 7))
+        t = topo.transfer_time(("node", 0), ("node", 7), 0.0,
+                               concurrent_flows=100)
+        assert t == pytest.approx(lat)
+
+    def test_invalid_flow_count(self):
+        topo = fat_tree(4, LinkKind.INFINIBAND_EDR)
+        with pytest.raises(ValueError):
+            topo.transfer_time(("node", 0), ("node", 1), 1.0,
+                               concurrent_flows=0)

@@ -1,0 +1,247 @@
+"""Interoperability workflows: containers, Jupyter kernels, CBRAIN, cloud."""
+
+import pytest
+
+from repro.workflows import (
+    AWS_P3_16XLARGE,
+    Bourreau,
+    CbrainPortal,
+    CloudCostModel,
+    ContainerImage,
+    ContainerRegistry,
+    DataLadDataset,
+    JupyterKernelSpec,
+    JupyterSession,
+    ModuleEnvironment,
+    NeuroTool,
+    singularity_from_docker,
+)
+from repro.workflows.cbrain import CbrainError
+from repro.workflows.cloud import CampaignSpec, FREE_TIER_COLAB
+from repro.workflows.containers import (
+    ContainerError,
+    cloud_docker,
+    juwels_singularity,
+)
+from repro.workflows.jupyter import KernelError, jsc_module_environment
+
+
+def tf_image(privileged=False, cuda="11.0"):
+    return ContainerImage(
+        name="tensorflow/tensorflow", tag="2.5.0-gpu", format="docker",
+        layers=("ubuntu:20.04", "pip:tensorflow==2.5.0"),
+        env=(("TF_VERSION", "2.5.0"),),
+        needs_gpu=True, cuda_version=cuda, privileged=privileged,
+    )
+
+
+class TestContainers:
+    def test_docker_to_singularity_preserves_content(self):
+        docker = tf_image()
+        sing = singularity_from_docker(docker)
+        assert sing.format == "singularity"
+        assert sing.layers == docker.layers
+        assert sing.digest() == docker.digest()
+
+    def test_conversion_drops_privilege(self):
+        sing = singularity_from_docker(tf_image(privileged=True))
+        assert not sing.privileged
+
+    def test_conversion_requires_docker_source(self):
+        sing = singularity_from_docker(tf_image())
+        with pytest.raises(ContainerError):
+            singularity_from_docker(sing)
+
+    def test_image_validation(self):
+        with pytest.raises(ContainerError):
+            ContainerImage("x", "1", "rkt", layers=("a",))
+        with pytest.raises(ContainerError):
+            ContainerImage("x", "1", "docker", layers=())
+        with pytest.raises(ContainerError):
+            ContainerImage("x", "1", "docker", layers=("a",), needs_gpu=True)
+
+    def test_registry_push_pull(self):
+        reg = ContainerRegistry()
+        reg.push(tf_image())
+        image = reg.pull("tensorflow/tensorflow:2.5.0-gpu")
+        assert image.needs_gpu
+        assert reg.pull_count["tensorflow/tensorflow:2.5.0-gpu"] == 1
+
+    def test_registry_missing_image(self):
+        with pytest.raises(ContainerError):
+            ContainerRegistry().pull("ghost:latest")
+
+    def test_registry_tags(self):
+        reg = ContainerRegistry()
+        reg.push(tf_image())
+        assert reg.tags("tensorflow/tensorflow") == ["2.5.0-gpu"]
+
+    def test_juwels_runs_converted_gpu_image(self):
+        runtime = juwels_singularity(driver_cuda="11.2")
+        sing = singularity_from_docker(tf_image(cuda="11.0"))
+        token = runtime.run(sing)
+        assert "juwels-singularity" in token
+
+    def test_juwels_refuses_docker_format(self):
+        ok, reason = juwels_singularity().can_run(tf_image())
+        assert not ok and "singularity" in reason
+
+    def test_hpc_refuses_privileged(self):
+        # A privileged singularity image (hand-built) must be rejected.
+        img = ContainerImage("evil", "1", "singularity", layers=("l",),
+                             privileged=True)
+        ok, reason = juwels_singularity().can_run(img)
+        assert not ok and "privileged" in reason
+
+    def test_cuda_driver_compatibility(self):
+        old_driver = juwels_singularity(driver_cuda="10.2")
+        sing = singularity_from_docker(tf_image(cuda="11.0"))
+        ok, reason = old_driver.can_run(sing)
+        assert not ok and "CUDA" in reason
+
+    def test_cloud_runs_docker_directly(self):
+        assert cloud_docker().can_run(tf_image())[0]
+
+
+class TestJupyter:
+    def _kernel(self):
+        return JupyterKernelSpec(
+            name="dl-kernel",
+            modules=(("Python", "3.9.6"), ("TensorFlow", None),
+                     ("CUDA", "11.2")),
+            python_packages=("pandas", "scikit-learn"),
+        )
+
+    def test_resolve_against_jsc_stack(self):
+        resolved = self._kernel().resolve(jsc_module_environment())
+        assert resolved["Python"] == "3.9.6"
+        assert resolved["TensorFlow"] == "2.5.0"   # newest when unconstrained
+        assert resolved["CUDA"] == "11.2"
+
+    def test_version_mismatch_fails_loudly(self):
+        kernel = JupyterKernelSpec(
+            name="old", modules=(("TensorFlow", "1.15.0"),))
+        with pytest.raises(KernelError):
+            kernel.resolve(jsc_module_environment())
+
+    def test_missing_module_fails(self):
+        kernel = JupyterKernelSpec(name="x", modules=(("Caffe", None),))
+        with pytest.raises(KernelError):
+            kernel.resolve(jsc_module_environment())
+
+    def test_session_abstracts_hpc_away(self):
+        session = JupyterSession(self._kernel(), jsc_module_environment(),
+                                 target_module="booster").start()
+        out = session.execute("model.fit(x, y)")
+        assert "JUWELS" in out
+        with pytest.raises(KernelError):
+            session.execute("#SBATCH --nodes=4")
+
+    def test_session_requires_start(self):
+        session = JupyterSession(self._kernel(), jsc_module_environment(),
+                                 target_module="dam")
+        with pytest.raises(KernelError):
+            session.execute("1+1")
+
+    def test_kernel_to_container_migration(self):
+        image = self._kernel().to_container()
+        assert image.format == "docker"
+        assert image.needs_gpu                       # CUDA module present
+        assert any("pip:pandas" in layer for layer in image.layers)
+        # The migrated kernel runs on a cloud docker runtime.
+        assert cloud_docker().can_run(image)[0]
+
+
+class TestCbrain:
+    def _portal(self):
+        portal = CbrainPortal()
+        bigbrain = DataLadDataset("bigbrain", "2020.1", size_TB=2.5)
+        tool_image = ContainerImage(
+            "bigbrain-segment", "1.0", format="docker",
+            layers=("ubuntu:20.04", "pip:nibabel"),
+        )
+        portal.register_tool(NeuroTool("segment", tool_image,
+                                       requires_dataset=bigbrain))
+        juwels = Bourreau("bourreau-juwels", "JUWELS", juwels_singularity())
+        canada = Bourreau("bourreau-cc", "ComputeCanada", cloud_docker())
+        juwels.install_dataset(bigbrain)
+        portal.register_bourreau(juwels)
+        portal.register_bourreau(canada)
+        return portal, juwels, canada, bigbrain
+
+    def test_sites_listed(self):
+        portal, *_ = self._portal()
+        assert portal.sites == ["ComputeCanada", "JUWELS"]
+
+    def test_runnable_sites_respect_datasets(self):
+        portal, *_ = self._portal()
+        # ComputeCanada lacks the DataLad dataset.
+        assert portal.runnable_sites("segment") == ["JUWELS"]
+
+    def test_launch_routes_transparently(self):
+        portal, juwels, *_ = self._portal()
+        token = portal.launch("segment")
+        assert "juwels-singularity" in token
+        assert juwels.executions == ["segment@JUWELS"]
+
+    def test_launch_on_unprepared_site_fails(self):
+        portal, *_ = self._portal()
+        with pytest.raises(CbrainError):
+            portal.launch("segment", site="ComputeCanada")
+
+    def test_unknown_tool(self):
+        portal, *_ = self._portal()
+        with pytest.raises(CbrainError):
+            portal.launch("ghost-tool")
+
+    def test_dataset_install_enables_site(self):
+        portal, _, canada, bigbrain = self._portal()
+        canada.install_dataset(bigbrain)
+        assert portal.runnable_sites("segment") == ["ComputeCanada", "JUWELS"]
+
+    def test_bourreau_requires_dataset(self):
+        _, juwels, *_ = self._portal()
+        other = DataLadDataset("hcp", "1.0", size_TB=80.0)
+        tool = NeuroTool("x", ContainerImage("x", "1", "docker",
+                                             layers=("l",)),
+                         requires_dataset=other)
+        with pytest.raises(CbrainError):
+            juwels.execute(tool)
+
+
+class TestCloudCosts:
+    def test_paper_rate_encoded(self):
+        assert AWS_P3_16XLARGE.usd_per_hour == 24.0
+        assert AWS_P3_16XLARGE.gpus_per_instance == 8
+
+    def test_128_gpu_campaign_cost(self):
+        """The paper's scenario: 128 GPUs for many hours — unaffordable
+        without grants."""
+        model = CloudCostModel()
+        campaign = CampaignSpec(n_gpus=128, hours_per_run=10, n_runs=5)
+        cost = model.cloud_cost_usd(campaign)
+        assert cost == pytest.approx(16 * 24.0 * 10 * 5)  # $19,200
+        assert cost > 10_000
+
+    def test_grant_is_free_within_allocation(self):
+        model = CloudCostModel()
+        campaign = CampaignSpec(n_gpus=128, hours_per_run=10, n_runs=5)
+        assert model.grant_cost_usd(campaign, grant_gpu_hours=10_000) == 0.0
+
+    def test_grant_exhaustion_raises(self):
+        model = CloudCostModel()
+        campaign = CampaignSpec(n_gpus=128, hours_per_run=100)
+        with pytest.raises(ValueError):
+            model.grant_cost_usd(campaign, grant_gpu_hours=100)
+
+    def test_free_tier_cannot_do_scaling_studies(self):
+        model = CloudCostModel(instance=FREE_TIER_COLAB)
+        assert not model.speedup_study_feasible(max_gpus=8)
+        with pytest.raises(ValueError):
+            model.cloud_cost_usd(CampaignSpec(n_gpus=8, hours_per_run=1))
+
+    def test_instance_packing(self):
+        assert AWS_P3_16XLARGE.instances_for(128) == 16
+        assert AWS_P3_16XLARGE.instances_for(9) == 2
+        with pytest.raises(ValueError):
+            AWS_P3_16XLARGE.instances_for(0)
