@@ -49,10 +49,16 @@ from repro.core.module import (
     QuantumModule,
 )
 from repro.core.system import MSASystem
-from repro.core.presets import deep_system, juwels_system, homogeneous_system
+from repro.core.presets import (
+    deep_system,
+    juwels_system,
+    homogeneous_system,
+    small_msa_system,
+)
 from repro.core.jobs import (
     WorkloadClass,
     JobPhase,
+    JobStatus,
     CoAllocatedPhase,
     Job,
     synthetic_workload_mix,
@@ -76,7 +82,8 @@ __all__ = [
     "ModuleKind", "ComputeModule", "ClusterModule", "BoosterModule",
     "DataAnalyticsModule", "StorageModule", "NamModule", "QuantumModule",
     "MSASystem", "deep_system", "juwels_system", "homogeneous_system",
-    "WorkloadClass", "JobPhase", "CoAllocatedPhase", "Job",
+    "small_msa_system",
+    "WorkloadClass", "JobPhase", "JobStatus", "CoAllocatedPhase", "Job",
     "synthetic_workload_mix",
     "MsaScheduler", "SchedulerPolicy", "PlacementPolicy", "ScheduleReport",
     "Allocation", "schedule_workload",

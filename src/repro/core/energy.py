@@ -64,6 +64,21 @@ class EnergyAccountant:
         self._busy_joules[module_key] = self._busy_joules.get(module_key, 0.0) + joules
         return joules
 
+    def credit_phase(
+        self, module_key: str, node: NodeSpec, phase: JobPhase,
+        n_nodes: int, seconds: float,
+    ) -> float:
+        """Refund energy pre-charged for run time that never happened.
+
+        Phase energy is charged up-front for the planned runtime; when a
+        fault kills the phase early the unconsumed tail is credited back so
+        failed runs only account for the power they actually drew.
+        """
+        pm = PowerModel(node)
+        joules = pm.energy_joules(phase, seconds) * n_nodes
+        self._busy_joules[module_key] = self._busy_joules.get(module_key, 0.0) - joules
+        return joules
+
     def charge_idle(
         self, module_key: str, node: NodeSpec, node_seconds: float
     ) -> float:

@@ -30,6 +30,26 @@ from repro.core.module import ComputeModule
 from repro.core.hardware import GB
 
 
+class JobStatus(str, Enum):
+    """Failure-aware job lifecycle (production batch-system semantics).
+
+    ``PENDING -> RUNNING -> COMPLETED`` is the happy path; an injected
+    fault moves a running job to ``FAILED``, and the retry policy either
+    puts it back in the queue (``REQUEUED``, after backoff) or leaves it
+    terminally ``FAILED`` once retries are exhausted.
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    REQUEUED = "requeued"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.COMPLETED, JobStatus.FAILED)
+
+
 class WorkloadClass(str, Enum):
     """Application classes from Fig. 2."""
 

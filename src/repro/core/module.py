@@ -57,12 +57,14 @@ class ComputeModule:
     fabric_kind: LinkKind = LinkKind.INFINIBAND_EDR
     fabric_radix: int = 16
     _free: set = field(default_factory=set, repr=False)
+    _down: set = field(default_factory=set, repr=False)
     _topology: Optional[Topology] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.n_nodes < 0:
             raise ValueError("n_nodes must be non-negative")
         self._free = set(range(self.n_nodes))
+        self._down = set()
 
     # -- inventory -----------------------------------------------------------
     @property
@@ -110,17 +112,31 @@ class ComputeModule:
 
     @property
     def busy_nodes(self) -> int:
-        return self.n_nodes - len(self._free)
+        return self.n_nodes - len(self._free) - len(self._down)
 
-    def allocate(self, n: int) -> list[int]:
-        """Take ``n`` free nodes (lowest ids first, deterministic)."""
+    @property
+    def down_nodes(self) -> set[int]:
+        """Nodes currently failed/under repair (not allocatable)."""
+        return set(self._down)
+
+    def allocate(self, n: int, avoid: Optional[set[int]] = None) -> list[int]:
+        """Take ``n`` free nodes (lowest ids first, deterministic).
+
+        ``avoid`` marks suspect nodes (e.g. recently repaired after a
+        crash): they are used only when no clean node remains, so failure-
+        aware placement steers work away from flaky hardware without
+        shrinking capacity.
+        """
         if n < 0:
             raise ValueError("cannot allocate a negative node count")
         if n > len(self._free):
             raise AllocationError(
                 f"{self.name}: requested {n} nodes, only {len(self._free)} free"
             )
-        taken = sorted(self._free)[:n]
+        if avoid:
+            taken = sorted(self._free, key=lambda i: (i in avoid, i))[:n]
+        else:
+            taken = sorted(self._free)[:n]
         self._free.difference_update(taken)
         return taken
 
@@ -130,7 +146,22 @@ class ComputeModule:
                 raise AllocationError(f"{self.name}: node {node} released twice")
             if not (0 <= node < self.n_nodes):
                 raise AllocationError(f"{self.name}: node {node} out of range")
-        self._free.update(nodes)
+        self._free.update(n for n in nodes if n not in self._down)
+
+    # -- failure/repair -------------------------------------------------------
+    def mark_down(self, node: int) -> None:
+        """Take a node out of service (crash); busy nodes go down too."""
+        if not (0 <= node < self.n_nodes):
+            raise AllocationError(f"{self.name}: node {node} out of range")
+        self._down.add(node)
+        self._free.discard(node)
+
+    def mark_up(self, node: int) -> None:
+        """Return a repaired node to the free pool."""
+        if node not in self._down:
+            raise AllocationError(f"{self.name}: node {node} is not down")
+        self._down.discard(node)
+        self._free.add(node)
 
     # -- capability matchmaking ------------------------------------------------------
     def capability(self) -> dict[str, float]:

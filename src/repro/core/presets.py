@@ -74,6 +74,28 @@ def juwels_system() -> MSASystem:
     return sys
 
 
+def small_msa_system(
+    cm_nodes: int = 8,
+    esb_nodes: int = 8,
+    dam_nodes: int = 2,
+) -> MSASystem:
+    """A small DEEP-shaped system for tests and examples.
+
+    One cluster, one booster, one analytics module and storage — big enough
+    to exercise matchmaking, co-allocation and fault recovery, small enough
+    that a property sweep over hundreds of seeds stays fast.
+    """
+    sys = MSASystem("MSA-small")
+    sys.add_module("cm", ClusterModule("CM", DEEP_CM_NODE, cm_nodes,
+                                       fabric=LinkKind.INFINIBAND_EDR))
+    sys.add_module("esb", BoosterModule("ESB", DEEP_ESB_NODE, esb_nodes,
+                                        fabric=LinkKind.EXTOLL))
+    sys.add_module("dam", DataAnalyticsModule("DAM", DEEP_DAM_NODE, dam_nodes,
+                                              fabric=LinkKind.EXTOLL))
+    sys.add_module("sssm", StorageModule("SSSM", capacity_PB=1.0))
+    return sys
+
+
 def homogeneous_system(
     name: str,
     node_spec: NodeSpec,

@@ -14,15 +14,23 @@ workloads because no single module type suits every phase.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional
 
-from repro.simnet.events import Simulator
+from repro.simnet.events import Event, Simulator
 from repro.core.energy import EnergyAccountant
-from repro.core.jobs import CoAllocatedPhase, Job, JobPhase, phase_runtime
+from repro.core.jobs import CoAllocatedPhase, Job, JobPhase, JobStatus, phase_runtime
 from repro.core.module import ComputeModule, StorageModule
 from repro.core.system import MSASystem
+from repro.resilience.faults import FaultInjector, FaultKind, FaultSpec
+from repro.resilience.report import (
+    FailureEvent,
+    RecoveryEvent,
+    RequeueEvent,
+    ResilienceReport,
+)
+from repro.resilience.retry import RetryPolicy
 
 
 class SchedulerPolicy(str, Enum):
@@ -69,6 +77,15 @@ class ScheduleReport:
     energy_busy_joules: float
     energy_idle_joules: float
     module_utilisation: dict[str, float]
+    #: Terminal status per submitted job (all COMPLETED when no faults).
+    job_status: dict[str, JobStatus] = field(default_factory=dict)
+    #: Fault/recovery accounting; None when injection is disabled.
+    resilience: Optional[ResilienceReport] = None
+
+    @property
+    def failed_jobs(self) -> list[str]:
+        return sorted(name for name, status in self.job_status.items()
+                      if status is JobStatus.FAILED)
 
     @property
     def energy_total_joules(self) -> float:
@@ -102,6 +119,8 @@ class ScheduleReport:
         ]
         for key, util in sorted(self.module_utilisation.items()):
             rows.append(f"  util[{key:<12}]: {util:6.1%}")
+        if self.resilience is not None:
+            rows.append(self.resilience.summary())
         return "\n".join(rows)
 
 
@@ -111,6 +130,10 @@ class _JobState:
     next_phase: int = 0
     prev_module: Optional[str] = None
     first_start: Optional[float] = None
+    #: How many times this job has been killed by a fault.
+    attempts: int = 0
+    #: Set while a failure awaits its restart (recovery/MTTR accounting).
+    failed_at: Optional[float] = None
 
     @property
     def current(self) -> JobPhase:
@@ -119,6 +142,20 @@ class _JobState:
     @property
     def finished(self) -> bool:
         return self.next_phase >= len(self.job.phases)
+
+
+@dataclass(eq=False)
+class _RunningRecord:
+    """A phase in flight: everything needed to kill or stretch it."""
+
+    state: _JobState
+    placements: list[tuple[str, tuple[int, ...]]]
+    start: float
+    end: float
+    done_evt: Event
+    alloc_indices: list[int]
+    #: Per-placement energy accounting: (key, module, phase, n_nodes).
+    charged: list[tuple[str, ComputeModule, JobPhase, int]]
 
 
 class MsaScheduler:
@@ -130,6 +167,8 @@ class MsaScheduler:
         queue_policy: SchedulerPolicy = SchedulerPolicy.FCFS_BACKFILL,
         placement: PlacementPolicy = PlacementPolicy.MATCHMAKING,
         patience_factor: Optional[float] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.system = system
         self.queue_policy = queue_policy
@@ -143,11 +182,31 @@ class MsaScheduler:
         self._ready: list[_JobState] = []
         self._allocations: list[Allocation] = []
         self._completions: dict[str, float] = {}
+        self._failures_final: dict[str, float] = {}
         self._waits: dict[str, float] = {}
         self._busy_node_seconds: dict[str, float] = {}
         self._user_usage: dict[str, float] = {}
         self._submitted = 0
         self._io_GBps = self._storage_bandwidth()
+        self._status: dict[str, JobStatus] = {}
+        self._running: list[_RunningRecord] = []
+        #: Recently crashed nodes per module — placement steers around them.
+        self._suspect: dict[str, set[int]] = {}
+        #: Active link-degradation factors per module key.
+        self._degraded: dict[str, list[float]] = {}
+        self.injector = fault_injector
+        if fault_injector is not None:
+            self.retry_policy = retry_policy or RetryPolicy()
+            self.resilience: Optional[ResilienceReport] = ResilienceReport()
+            # The injector appends to this exact list as faults fire.
+            self.resilience.faults_injected = fault_injector.injected
+            fault_injector.on(FaultKind.NODE_CRASH, self._on_node_crash)
+            fault_injector.on(FaultKind.STRAGGLER, self._on_straggler)
+            fault_injector.on(FaultKind.LINK_DEGRADE, self._on_link_degrade)
+            fault_injector.arm(self.sim)
+        else:
+            self.retry_policy = retry_policy or RetryPolicy()
+            self.resilience = None
 
     def _storage_bandwidth(self) -> float:
         storages = [
@@ -160,6 +219,7 @@ class MsaScheduler:
     # -- submission ---------------------------------------------------------
     def submit(self, job: Job) -> None:
         self._submitted += 1
+        self._status[job.name] = JobStatus.PENDING
         evt = self.sim.timeout(job.arrival_time, value=job, name=f"arrive-{job.name}")
         evt.add_callback(self._on_arrival)
 
@@ -173,17 +233,166 @@ class MsaScheduler:
         self._dispatch()
 
     def _on_phase_done(self, evt) -> None:
-        state, placements = evt.value
-        for module_key, nodes in placements:
+        record: _RunningRecord = evt.value
+        if record in self._running:
+            self._running.remove(record)
+        state = record.state
+        for module_key, nodes in record.placements:
             self.system.module(module_key).release(list(nodes))
-        state.prev_module = placements[-1][0]
+        state.prev_module = record.placements[-1][0]
         state.next_phase += 1
         if state.finished:
             self._completions[state.job.name] = self.sim.now
+            self._status[state.job.name] = JobStatus.COMPLETED
         else:
             # Running jobs continue ahead of newly queued ones.
             self._ready.insert(0, state)
         self._dispatch()
+
+    def _note_started(self, state: _JobState) -> None:
+        """Status + recovery bookkeeping when a phase actually starts."""
+        self._status[state.job.name] = JobStatus.RUNNING
+        if state.failed_at is not None:
+            if self.resilience is not None:
+                self.resilience.recoveries.append(RecoveryEvent(
+                    job_name=state.job.name,
+                    attempt=state.attempts,
+                    failed_at=state.failed_at,
+                    restarted_at=self.sim.now,
+                ))
+            state.failed_at = None
+
+    # -- fault handling -----------------------------------------------------
+    def _find_running(self, module_key: str, node: int) -> Optional[_RunningRecord]:
+        for record in self._running:
+            for key, nodes in record.placements:
+                if key == module_key and node in nodes:
+                    return record
+        return None
+
+    def _degrade_factor(self, module_key: str) -> float:
+        factors = self._degraded.get(module_key)
+        return max(factors) if factors else 1.0
+
+    def _on_node_crash(self, spec: FaultSpec) -> None:
+        module = self.system.compute_modules().get(spec.module)
+        if module is None or not (0 <= spec.node < module.n_nodes):
+            return  # fault targets nothing this system has
+        if spec.node in module.down_nodes:
+            return  # already down — repair for the first crash is pending
+        record = self._find_running(spec.module, spec.node)
+        module.mark_down(spec.node)
+        self._suspect.setdefault(spec.module, set()).add(spec.node)
+        repair = self.sim.timeout(spec.duration, value=(spec.module, spec.node),
+                                  name=f"repair-{spec.module}-{spec.node}")
+        repair.add_callback(self._on_repair)
+        if record is not None:
+            self._fail_running(record, spec)
+        self._dispatch()
+
+    def _on_repair(self, evt) -> None:
+        key, node = evt.value
+        self.system.module(key).mark_up(node)
+        if self.resilience is not None:
+            self.resilience.repairs.append((self.sim.now, key, node))
+        self._dispatch()
+
+    def _fail_running(self, record: _RunningRecord, spec: FaultSpec) -> None:
+        """Kill a phase in flight: retract its completion, refund the tail,
+        release survivors, and requeue or permanently fail the job."""
+        now = self.sim.now
+        record.done_evt.cancel()
+        self._running.remove(record)
+        state = record.state
+        for key, nodes in record.placements:
+            survivors = [n for n in nodes
+                         if not (key == spec.module and n == spec.node)]
+            self.system.module(key).release(survivors)
+        remaining = record.end - now
+        lost_node_seconds = 0.0
+        for idx in record.alloc_indices:
+            alloc = self._allocations[idx]
+            unrun = len(alloc.nodes) * (alloc.end - now)
+            lost_node_seconds += len(alloc.nodes) * (now - alloc.start)
+            self._busy_node_seconds[alloc.module_key] -= unrun
+            self._user_usage[state.job.user] -= unrun
+            self._allocations[idx] = replace(alloc, end=now)
+        for key, module, phase, n in record.charged:
+            self.energy.credit_phase(key, module.node_spec, phase, n, remaining)
+        state.attempts += 1
+        state.failed_at = now
+        if self.resilience is not None:
+            self.resilience.failures.append(FailureEvent(
+                job_name=state.job.name,
+                phase_index=state.next_phase,
+                time=now,
+                module_key=spec.module,
+                node=spec.node,
+                lost_node_seconds=lost_node_seconds,
+                attempt=state.attempts,
+            ))
+        if self.retry_policy.should_retry(state.attempts):
+            self._status[state.job.name] = JobStatus.REQUEUED
+            delay = self.retry_policy.delay(state.attempts, key=state.job.name)
+            if self.resilience is not None:
+                self.resilience.requeues.append(RequeueEvent(
+                    job_name=state.job.name, attempt=state.attempts,
+                    backoff_s=delay, time=now,
+                ))
+            requeue = self.sim.timeout(delay, value=state,
+                                       name=f"requeue-{state.job.name}")
+            requeue.add_callback(self._on_requeue)
+        else:
+            self._status[state.job.name] = JobStatus.FAILED
+            self._failures_final[state.job.name] = now
+            if self.resilience is not None:
+                self.resilience.jobs_failed_permanently.append(state.job.name)
+
+    def _on_requeue(self, evt) -> None:
+        self._ready.append(evt.value)
+        self._dispatch()
+
+    def _on_straggler(self, spec: FaultSpec) -> None:
+        record = self._find_running(spec.module, spec.node)
+        if record is None:
+            return  # node idle — nothing to slow down
+        now = self.sim.now
+        extra = (record.end - now) * (spec.magnitude - 1.0)
+        if extra <= 0:
+            return
+        record.done_evt.cancel()
+        delay = record.end + extra - now
+        # The completion event fires at now + delay; pin the allocation end
+        # to that exact float so release and next-start never disagree by
+        # an ULP.
+        new_end = now + delay
+        extra = new_end - record.end
+        for idx in record.alloc_indices:
+            alloc = self._allocations[idx]
+            self._busy_node_seconds[alloc.module_key] += len(alloc.nodes) * extra
+            self._user_usage[record.state.job.user] += len(alloc.nodes) * extra
+            self._allocations[idx] = replace(alloc, end=new_end)
+        for key, module, phase, n in record.charged:
+            self.energy.charge_phase(key, module.node_spec, phase, n, extra)
+        record.end = new_end
+        done = self.sim.timeout(delay, value=record,
+                                name=f"done-{record.state.job.name}")
+        done.add_callback(self._on_phase_done)
+        record.done_evt = done
+
+    def _on_link_degrade(self, spec: FaultSpec) -> None:
+        self._degraded.setdefault(spec.module, []).append(spec.magnitude)
+        recover = self.sim.timeout(spec.duration, value=spec,
+                                   name=f"link-recover-{spec.module}")
+        recover.add_callback(self._on_link_recover)
+
+    def _on_link_recover(self, evt) -> None:
+        spec: FaultSpec = evt.value
+        factors = self._degraded.get(spec.module, [])
+        if spec.magnitude in factors:
+            factors.remove(spec.magnitude)
+        if not factors:
+            self._degraded.pop(spec.module, None)
 
     # -- placement -----------------------------------------------------------------
     def _candidates(self, phase: JobPhase) -> list[tuple[str, ComputeModule, int]]:
@@ -199,9 +408,13 @@ class MsaScheduler:
         phase = state.current
         t = phase_runtime(phase, module, n, io_GBps=self._io_GBps)
         if state.prev_module is not None and state.prev_module != key:
-            t += self.system.inter_module_transfer_time(
+            xfer = self.system.inter_module_transfer_time(
                 state.prev_module, key, phase.io_bytes
             )
+            if self._degraded:
+                xfer *= max(self._degrade_factor(state.prev_module),
+                            self._degrade_factor(key))
+            t += xfer
         return t
 
     #: A queued phase refuses a feasible-now module whose estimated runtime
@@ -292,13 +505,18 @@ class MsaScheduler:
             a, b = sorted(modules_used)[:2]
             coupling = self.system.inter_module_transfer_time(
                 a, b, phase.coupling_bytes)
+        if phase.coupling_bytes > 0 and len(modules_used) > 1 and self._degraded:
+            coupling *= max(self._degrade_factor(m) for m in modules_used)
         runtime = max(t for _, _, _, t, _ in plan) + coupling
         placements = []
+        alloc_indices: list[int] = []
+        charged: list[tuple[str, ComputeModule, JobPhase, int]] = []
         if state.first_start is None:
             state.first_start = start
             self._waits[state.job.name] = start - state.job.arrival_time
+        self._note_started(state)
         for key, module, n, _, component in plan:
-            nodes = tuple(module.allocate(n))
+            nodes = tuple(module.allocate(n, avoid=self._suspect.get(key)))
             placements.append((key, nodes))
             alloc = Allocation(
                 job_name=state.job.name,
@@ -309,6 +527,7 @@ class MsaScheduler:
                 start=start,
                 end=start + runtime,
             )
+            alloc_indices.append(len(self._allocations))
             self._allocations.append(alloc)
             self._busy_node_seconds[key] = (
                 self._busy_node_seconds.get(key, 0.0) + alloc.node_seconds)
@@ -317,9 +536,17 @@ class MsaScheduler:
                 + alloc.node_seconds)
             self.energy.charge_phase(key, module.node_spec, component, n,
                                      runtime)
-        done = self.sim.timeout(runtime, value=(state, placements),
+            charged.append((key, module, component, n))
+        record = _RunningRecord(
+            state=state, placements=placements, start=start,
+            end=start + runtime, done_evt=None, alloc_indices=alloc_indices,
+            charged=charged,
+        )
+        done = self.sim.timeout(runtime, value=record,
                                 name=f"done-{state.job.name}")
         done.add_callback(self._on_phase_done)
+        record.done_evt = done
+        self._running.append(record)
         return True
 
     def _dispatch(self) -> None:
@@ -345,12 +572,13 @@ class MsaScheduler:
             usable = choice is not None and choice[0] not in blocked
             if usable:
                 key, module, n, runtime = choice
-                nodes = tuple(module.allocate(n))
+                nodes = tuple(module.allocate(n, avoid=self._suspect.get(key)))
                 start = self.sim.now
                 end = start + runtime
                 if state.first_start is None:
                     state.first_start = start
                     self._waits[state.job.name] = start - state.job.arrival_time
+                self._note_started(state)
                 alloc = Allocation(
                     job_name=state.job.name,
                     phase_index=state.next_phase,
@@ -360,6 +588,7 @@ class MsaScheduler:
                     start=start,
                     end=end,
                 )
+                alloc_index = len(self._allocations)
                 self._allocations.append(alloc)
                 self._busy_node_seconds[key] = (
                     self._busy_node_seconds.get(key, 0.0) + alloc.node_seconds
@@ -371,11 +600,17 @@ class MsaScheduler:
                 self.energy.charge_phase(
                     key, module.node_spec, state.current, n, runtime
                 )
+                record = _RunningRecord(
+                    state=state, placements=[(key, nodes)], start=start,
+                    end=end, done_evt=None, alloc_indices=[alloc_index],
+                    charged=[(key, module, state.current, n)],
+                )
                 done = self.sim.timeout(
-                    runtime, value=(state, [(key, nodes)]),
-                    name=f"done-{state.job.name}"
+                    runtime, value=record, name=f"done-{state.job.name}"
                 )
                 done.add_callback(self._on_phase_done)
+                record.done_evt = done
+                self._running.append(record)
                 self._ready.pop(i)
                 continue  # same index now holds the next job
             # Head job cannot start: strict FCFS stops; backfill walks on but
@@ -389,10 +624,14 @@ class MsaScheduler:
     def run(self) -> ScheduleReport:
         """Run the event loop to completion and produce the report."""
         self.sim.run()
-        if len(self._completions) != self._submitted:
-            missing = self._submitted - len(self._completions)
+        terminal = len(self._completions) + len(self._failures_final)
+        if terminal != self._submitted:
+            missing = self._submitted - terminal
             raise RuntimeError(f"{missing} jobs never completed — scheduler stuck")
-        makespan = max(self._completions.values(), default=0.0)
+        makespan = max(
+            [*self._completions.values(), *self._failures_final.values()],
+            default=0.0,
+        )
         utilisation: dict[str, float] = {}
         for key, module in self.system.compute_modules().items():
             busy = self._busy_node_seconds.get(key, 0.0)
@@ -409,6 +648,8 @@ class MsaScheduler:
             energy_busy_joules=self.energy.busy_joules,
             energy_idle_joules=self.energy.idle_joules,
             module_utilisation=utilisation,
+            job_status=dict(self._status),
+            resilience=self.resilience,
         )
 
 
@@ -417,8 +658,12 @@ def schedule_workload(
     jobs: list[Job],
     queue_policy: SchedulerPolicy = SchedulerPolicy.FCFS_BACKFILL,
     placement: PlacementPolicy = PlacementPolicy.MATCHMAKING,
+    fault_injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ScheduleReport:
     """Convenience wrapper: submit ``jobs`` to ``system`` and run."""
-    sched = MsaScheduler(system, queue_policy=queue_policy, placement=placement)
+    sched = MsaScheduler(system, queue_policy=queue_policy, placement=placement,
+                         fault_injector=fault_injector,
+                         retry_policy=retry_policy)
     sched.submit_all(jobs)
     return sched.run()

@@ -20,6 +20,10 @@ from repro.distributed.horovod import (
     DistributedOptimizer,
     broadcast_parameters,
     allreduce_average,
+    global_batch_indices,
+    ElasticRecovery,
+    ElasticRunResult,
+    run_elastic_training,
 )
 from repro.distributed.deepspeed import ZeroStage1Optimizer, ZeroStage2Optimizer
 from repro.distributed.compression import NoCompression, Fp16Compression
@@ -37,6 +41,10 @@ __all__ = [
     "DistributedOptimizer",
     "broadcast_parameters",
     "allreduce_average",
+    "global_batch_indices",
+    "ElasticRecovery",
+    "ElasticRunResult",
+    "run_elastic_training",
     "ZeroStage1Optimizer",
     "ZeroStage2Optimizer",
     "NoCompression",

@@ -18,7 +18,8 @@ compression tolerance).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
@@ -141,3 +142,213 @@ class DistributedOptimizer:
     @property
     def step_count(self) -> int:
         return self.optimizer.step_count
+
+
+# ---------------------------------------------------------------------------
+# Elastic training: ring rebuild on rank loss + checkpoint-restart.
+# ---------------------------------------------------------------------------
+
+def global_batch_indices(
+    n_samples: int, batch_size: int, step: int, seed: int
+) -> np.ndarray:
+    """The global batch for ``step`` — identical on every rank and for
+    every world size.
+
+    Seeding the generator with ``[seed, step]`` makes the sample draw a
+    pure function of the step, so a rank that rolls back to a checkpoint
+    replays exactly the batches the lost steps consumed, and a world of 4
+    survivors sees the same batch a world of 8 would have.
+    """
+    if not 0 < batch_size <= n_samples:
+        raise ValueError("need 0 < batch_size <= n_samples")
+    rng = np.random.default_rng([seed, step])
+    return rng.choice(n_samples, size=batch_size, replace=False)
+
+
+@dataclass(frozen=True)
+class ElasticRecovery:
+    """One survived failure: who died, and where training resumed."""
+
+    failed_step: int                 #: global step the kill struck at
+    dead_world_ranks: tuple[int, ...]
+    restored_step: int               #: checkpoint step training resumed from
+    restored_from: str               #: "nam" | "pfs" | "none" (no manager)
+    world_size_after: int
+
+    @property
+    def steps_lost(self) -> int:
+        """Steps of work recomputed because of this failure."""
+        return self.failed_step - self.restored_step
+
+
+@dataclass
+class ElasticRunResult:
+    """Outcome of :func:`run_elastic_training` (from a surviving rank)."""
+
+    losses: list[float]
+    recoveries: list[ElasticRecovery]
+    final_state: dict[str, np.ndarray]
+    final_world_size: int
+    checkpoint_steps: list[int] = field(default_factory=list)
+
+    @property
+    def steps_lost(self) -> int:
+        return sum(r.steps_lost for r in self.recoveries)
+
+
+def run_elastic_training(
+    model_factory: Callable[[], Module],
+    X: np.ndarray,
+    Y: np.ndarray,
+    n_steps: int,
+    batch_size: int,
+    world_size: int,
+    lr: float = 0.05,
+    seed: int = 0,
+    fault_plan: Any = None,
+    checkpoint_manager: Any = None,
+    checkpoint_policy: Any = None,
+    name: str = "elastic",
+    cost_model=None,
+    loss_fn: Optional[Callable] = None,
+) -> ElasticRunResult:
+    """Data-parallel training that survives rank loss.
+
+    The elastic loop the MSA's resilience story needs on top of the plain
+    Horovod recipe: when a :class:`~repro.resilience.faults.FaultPlan`
+    kills ranks at a step, every member of the current ring collectively
+    shrinks the communicator (ULFM-style — dead ranks leave, survivors
+    renumber), the new rank 0 restores the latest checkpoint — NAM first,
+    PFS fallback, per the
+    :class:`~repro.resilience.policy.CheckpointPolicy` — broadcasts it,
+    and training resumes from the restored step.
+
+    Loss-trajectory invariance: each step consumes a *global* batch drawn
+    deterministically from ``(seed, step)`` (see
+    :func:`global_batch_indices`), sharded round-robin over the live
+    ranks.  Local losses are scaled by ``n_local / batch_size`` and
+    gradients summed (``average=False``), so the update equals the full
+    global-batch gradient for any world size: a run that loses half its
+    ranks mid-way reproduces the unfailed run's loss curve to floating-
+    point tolerance.
+
+    Returns the surviving ranks' (identical) result.  The local optimiser
+    is plain SGD without momentum, so model weights are the complete
+    training state and checkpoint-restart is exact.
+    """
+    from repro.ml.optim import SGD
+    from repro.ml.tensor import Tensor
+    from repro.ml.losses import cross_entropy
+    from repro.mpi.runtime import run_spmd
+
+    if world_size < 1:
+        raise ValueError("world_size must be >= 1")
+    if batch_size < world_size:
+        raise ValueError("batch_size must be >= world_size so every rank "
+                         "holds a shard")
+    if checkpoint_manager is not None and checkpoint_policy is None:
+        from repro.resilience.policy import CheckpointPolicy
+        checkpoint_policy = CheckpointPolicy()
+    compute_loss = loss_fn or cross_entropy
+    n_samples = len(X)
+
+    def _rank_main(comm: Communicator) -> Optional[dict]:
+        model = model_factory()
+        broadcast_parameters(model, comm)
+        active = comm
+        opt = DistributedOptimizer(
+            SGD(model.parameters(), lr=lr), active, average=False)
+        losses: list[float] = []
+        recoveries: list[ElasticRecovery] = []
+        ckpt_steps: set[int] = set()
+        consumed_kills: set[int] = set()
+
+        if checkpoint_manager is not None and active.rank == 0:
+            checkpoint_manager.save(
+                name, step=0, state=model.state_dict(),
+                replicate=checkpoint_policy.replicate)
+        if checkpoint_manager is not None:
+            ckpt_steps.add(0)
+
+        step = 0
+        while step < n_steps:
+            kills = (fault_plan.kills_at_step(step)
+                     if fault_plan is not None else ())
+            if kills and step not in consumed_kills:
+                consumed_kills.add(step)
+                dead = set(kills)
+                dead_local = [i for i, w in enumerate(active.group)
+                              if w in dead]
+                if dead_local:
+                    if len(dead_local) >= active.size:
+                        raise RuntimeError(
+                            f"fault plan kills all {active.size} live ranks "
+                            f"at step {step}")
+                    shrunk = active.shrink(dead_local)
+                    if shrunk is None:
+                        return None      # this rank died here
+                    active = shrunk
+                    if checkpoint_manager is not None:
+                        if active.rank == 0:
+                            state, ck_step, _t, target = (
+                                checkpoint_manager.restore_with_fallback(
+                                    name, checkpoint_policy))
+                            payload = (state, ck_step, target)
+                        else:
+                            payload = None
+                        state, ck_step, target = active.bcast(payload, root=0)
+                        model.load_state_dict(state)
+                        del losses[ck_step:]
+                    else:
+                        # No checkpoints: survivors carry on from current
+                        # weights, losing nothing but the dead ranks.
+                        ck_step, target = step, "none"
+                    recoveries.append(ElasticRecovery(
+                        failed_step=step,
+                        dead_world_ranks=tuple(sorted(dead)),
+                        restored_step=ck_step,
+                        restored_from=target,
+                        world_size_after=active.size,
+                    ))
+                    step = ck_step
+                    opt = DistributedOptimizer(
+                        SGD(model.parameters(), lr=lr), active, average=False)
+                continue
+
+            idx = global_batch_indices(n_samples, batch_size, step, seed)
+            shard = idx[active.rank::active.size]
+            logits = model(Tensor(X[shard]))
+            local = compute_loss(logits, Y[shard])
+            # Scale so the allreduce SUM equals the global-batch mean.
+            scaled = local * (len(shard) / batch_size)
+            opt.zero_grad()
+            scaled.backward()
+            opt.step()
+            losses.append(float(
+                active.allreduce(scaled.item(), op=ReduceOp.SUM)))
+            step += 1
+            if (checkpoint_manager is not None
+                    and checkpoint_policy.should_checkpoint(step)):
+                if active.rank == 0:
+                    checkpoint_manager.save(
+                        name, step=step, state=model.state_dict(),
+                        replicate=checkpoint_policy.replicate)
+                ckpt_steps.add(step)
+
+        return {
+            "losses": losses,
+            "recoveries": recoveries,
+            "state": model.state_dict(),
+            "world_size": active.size,
+            "ckpt_steps": sorted(ckpt_steps),
+        }
+
+    results = run_spmd(_rank_main, world_size, cost_model=cost_model)
+    survivor = next(r for r in results if r is not None)
+    return ElasticRunResult(
+        losses=survivor["losses"],
+        recoveries=survivor["recoveries"],
+        final_state=survivor["state"],
+        final_world_size=survivor["world_size"],
+        checkpoint_steps=survivor["ckpt_steps"],
+    )

@@ -402,6 +402,24 @@ class Communicator:
             cost_model=self.cost_model,
         )
 
+    def shrink(self, dead_ranks: Sequence[int]) -> Optional["Communicator"]:
+        """Collectively rebuild the communicator without ``dead_ranks``.
+
+        The ULFM-style recovery step elastic training uses: every member of
+        the *current* communicator (including the ranks about to leave)
+        calls ``shrink``; survivors get a new communicator with ranks
+        renumbered by their old rank order, departing ranks get ``None``.
+
+        ``dead_ranks`` are group-local ranks of this communicator.
+        """
+        dead = set(dead_ranks)
+        if not dead <= set(range(self.size)):
+            raise ValueError(f"dead ranks {sorted(dead)} outside group "
+                             f"of size {self.size}")
+        if len(dead) >= self.size:
+            raise ValueError("cannot shrink away every rank")
+        return self.Split(-1 if self.rank in dead else 0, key=self.rank)
+
     def Dup(self) -> "Communicator":
         ctx = self.bcast(
             self.transport.allocate_context() if self.rank == 0 else None, root=0

@@ -1,0 +1,50 @@
+"""Fault injection and recovery for the MSA stack.
+
+The paper's experience claim — MSA workloads keep running at 96–128 GPU
+scale across co-allocated modules — holds only because the surrounding
+stack tolerates node loss and stragglers.  This package supplies that
+layer for the simulation:
+
+* :mod:`repro.resilience.faults` — seeded :class:`FaultPlan`s and the
+  :class:`FaultInjector` that turns them into simulated events,
+* :mod:`repro.resilience.retry` — exponential backoff with deterministic
+  jitter (:class:`RetryPolicy`),
+* :mod:`repro.resilience.policy` — checkpoint cadence/placement
+  (:class:`CheckpointPolicy`, NAM-first with PFS fallback),
+* :mod:`repro.resilience.report` — fault vs recovery accounting
+  (:class:`ResilienceReport`: MTTR, retries, lost work).
+
+With an empty plan the layer is zero-cost: no events are scheduled and
+every existing workload produces byte-identical results.
+"""
+
+from repro.resilience.faults import (
+    FaultInjector,
+    FaultKind,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+)
+from repro.resilience.policy import CheckpointPolicy
+from repro.resilience.report import (
+    FailureEvent,
+    RecoveryEvent,
+    RequeueEvent,
+    ResilienceReport,
+)
+from repro.resilience.retry import NO_RETRY, RetryPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "CheckpointPolicy",
+    "FailureEvent",
+    "RecoveryEvent",
+    "RequeueEvent",
+    "ResilienceReport",
+    "RetryPolicy",
+    "NO_RETRY",
+]

@@ -1,0 +1,331 @@
+"""Deterministic, seed-driven fault injection.
+
+Large heterogeneous systems keep running at scale only because the stack
+tolerates node loss and stragglers (the NAM module exists specifically to
+accelerate checkpoint/restart, paper ref [12]).  This module supplies the
+*injection* side of that story: a :class:`FaultPlan` is a fully resolved,
+ordered list of :class:`FaultSpec` entries (all randomness spent at plan
+construction from one seed), and a :class:`FaultInjector` schedules each
+spec as an ordinary simulated event on a :class:`~repro.simnet.events.Simulator`
+— faults are events in the same deterministic queue as everything else,
+never monkey-patches.
+
+Fault classes:
+
+* ``NODE_CRASH``     — a compute node dies mid-run and needs repair,
+* ``LINK_DEGRADE``   — an inter-module link runs at a fraction of its
+  bandwidth for a window,
+* ``STRAGGLER``      — a node slows down, stretching whatever runs on it,
+* ``MESSAGE_DROP``   — transient message loss on a fabric (handled by
+  :class:`~repro.simnet.link.UnreliableLink`),
+* ``RANK_KILL``      — a training rank is lost at a given global step
+  (consumed by the elastic trainer, not by the scheduler clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from repro.simnet.events import Event, Simulator
+from repro.simnet.link import Link, UnreliableLink
+
+
+class FaultKind(str, Enum):
+    NODE_CRASH = "node-crash"
+    LINK_DEGRADE = "link-degrade"
+    STRAGGLER = "straggler"
+    MESSAGE_DROP = "message-drop"
+    RANK_KILL = "rank-kill"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fully resolved fault: what, where, when, how bad, how long.
+
+    ``time`` is simulated seconds for scheduler-clock faults and the global
+    *training step* for ``RANK_KILL`` faults.  ``magnitude`` is the slowdown
+    factor for stragglers and link degradation, and the drop probability for
+    message drops.
+    """
+
+    kind: FaultKind
+    time: float
+    module: str = ""
+    node: int = -1
+    duration: float = 600.0
+    magnitude: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("fault time must be non-negative")
+        if self.duration < 0:
+            raise ValueError("fault duration must be non-negative")
+        if self.kind in (FaultKind.STRAGGLER, FaultKind.LINK_DEGRADE) \
+                and self.magnitude < 1.0:
+            raise ValueError("slowdown magnitude must be >= 1")
+        if self.kind is FaultKind.MESSAGE_DROP \
+                and not (0.0 <= self.magnitude < 1.0):
+            raise ValueError("drop probability must be in [0, 1)")
+
+
+class FaultPlanError(ValueError):
+    """Raised for malformed fault-plan descriptions."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, fully deterministic list of faults plus its seed.
+
+    All randomness is resolved when the plan is built; armed injectors and
+    elastic trainers only *read* it, so a plan replays identically however
+    many times it is used.
+    """
+
+    seed: int
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    @property
+    def enabled(self) -> bool:
+        return len(self.specs) > 0
+
+    def of_kind(self, kind: FaultKind) -> tuple[FaultSpec, ...]:
+        return tuple(s for s in self.specs if s.kind is kind)
+
+    def kills_at_step(self, step: int) -> tuple[int, ...]:
+        """World ranks scheduled to die at training step ``step``."""
+        return tuple(
+            sorted(int(s.node) for s in self.specs
+                   if s.kind is FaultKind.RANK_KILL and int(s.time) == step)
+        )
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The empty plan: fault injection disabled, zero-cost."""
+        return cls(seed=0, specs=())
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        targets: dict[str, int],
+        horizon_s: float = 3600.0,
+        n_crashes: int = 0,
+        n_stragglers: int = 0,
+        n_degrades: int = 0,
+        repair_s: float = 600.0,
+        slowdown: float = 3.0,
+        drop_probability: float = 0.0,
+    ) -> "FaultPlan":
+        """A seeded random plan over ``targets`` (module key -> node count).
+
+        Times are uniform over ``(0, horizon_s)``; crash/straggler nodes are
+        uniform over each module's inventory.  The same (seed, arguments)
+        always produce the same plan.
+        """
+        if not targets and (n_crashes or n_stragglers or n_degrades):
+            raise FaultPlanError("node faults need at least one target module")
+        rng = np.random.default_rng(seed)
+        keys = sorted(targets)
+        specs: list[FaultSpec] = []
+        for _ in range(n_crashes):
+            key = keys[int(rng.integers(len(keys)))]
+            specs.append(FaultSpec(
+                kind=FaultKind.NODE_CRASH,
+                time=float(rng.uniform(0.0, horizon_s)),
+                module=key,
+                node=int(rng.integers(max(targets[key], 1))),
+                duration=repair_s,
+            ))
+        for _ in range(n_stragglers):
+            key = keys[int(rng.integers(len(keys)))]
+            specs.append(FaultSpec(
+                kind=FaultKind.STRAGGLER,
+                time=float(rng.uniform(0.0, horizon_s)),
+                module=key,
+                node=int(rng.integers(max(targets[key], 1))),
+                duration=repair_s,
+                magnitude=max(1.0, float(rng.uniform(1.0, slowdown))),
+            ))
+        for _ in range(n_degrades):
+            key = keys[int(rng.integers(len(keys)))]
+            specs.append(FaultSpec(
+                kind=FaultKind.LINK_DEGRADE,
+                time=float(rng.uniform(0.0, horizon_s)),
+                module=key,
+                duration=repair_s,
+                magnitude=max(1.0, float(rng.uniform(1.5, slowdown + 1.0))),
+            ))
+        if drop_probability > 0.0:
+            specs.append(FaultSpec(
+                kind=FaultKind.MESSAGE_DROP, time=0.0,
+                duration=horizon_s, magnitude=drop_probability,
+            ))
+        specs.sort(key=lambda s: (s.time, s.kind.value, s.module, s.node))
+        return cls(seed=seed, specs=tuple(specs))
+
+    @classmethod
+    def rank_kills(cls, seed: int, kills: dict[int, Iterable[int]]) -> "FaultPlan":
+        """A plan killing training ranks: ``{step: [world ranks]}``."""
+        specs = tuple(
+            FaultSpec(kind=FaultKind.RANK_KILL, time=float(step), node=int(rank))
+            for step in sorted(kills)
+            for rank in sorted(kills[step])
+        )
+        return cls(seed=seed, specs=specs)
+
+    @classmethod
+    def parse(
+        cls,
+        text: str,
+        targets: Optional[dict[str, int]] = None,
+        horizon_s: float = 3600.0,
+    ) -> "FaultPlan":
+        """Parse a CLI-style plan description.
+
+        Grammar (comma-separated ``key=value`` clauses):
+
+        * ``seed=7``            — RNG seed for fault times/locations,
+        * ``crash=cm:2``        — 2 node crashes on module ``cm``,
+        * ``straggler=esb:1``   — 1 straggler on module ``esb``,
+        * ``degrade=cm:1``      — 1 link-degradation window on ``cm``,
+        * ``drop=0.05``         — 5% message drop probability,
+        * ``horizon=3600``      — fault window in simulated seconds,
+        * ``repair=600``        — node repair time in simulated seconds.
+
+        Example: ``--faults seed=7,crash=cm:2``.
+        """
+        targets = dict(targets or {})
+        seed = 0
+        horizon = horizon_s
+        repair = 600.0
+        drop = 0.0
+        counts: dict[FaultKind, list[tuple[str, int]]] = {
+            FaultKind.NODE_CRASH: [], FaultKind.STRAGGLER: [],
+            FaultKind.LINK_DEGRADE: [],
+        }
+        kind_names = {"crash": FaultKind.NODE_CRASH,
+                      "straggler": FaultKind.STRAGGLER,
+                      "degrade": FaultKind.LINK_DEGRADE}
+        for clause in filter(None, (c.strip() for c in text.split(","))):
+            if "=" not in clause:
+                raise FaultPlanError(f"expected key=value, got {clause!r}")
+            key, _, value = clause.partition("=")
+            key = key.strip().lower()
+            value = value.strip()
+            try:
+                if key == "seed":
+                    seed = int(value)
+                elif key == "horizon":
+                    horizon = float(value)
+                elif key == "repair":
+                    repair = float(value)
+                elif key == "drop":
+                    drop = float(value)
+                elif key in kind_names:
+                    module, _, count = value.partition(":")
+                    counts[kind_names[key]].append(
+                        (module, int(count) if count else 1))
+                else:
+                    raise FaultPlanError(f"unknown fault clause {key!r}")
+            except ValueError as exc:
+                if isinstance(exc, FaultPlanError):
+                    raise
+                raise FaultPlanError(
+                    f"malformed value in clause {clause!r}") from exc
+        for entries in counts.values():
+            for module, _ in entries:
+                if targets and module not in targets:
+                    raise FaultPlanError(
+                        f"unknown module {module!r}; known: {sorted(targets)}")
+        n_by_kind = {k: sum(c for _, c in v) for k, v in counts.items()}
+        # Build with the module restriction each clause names: generate one
+        # sub-plan per clause so module choices are honoured exactly.
+        rng = np.random.default_rng(seed)
+        specs: list[FaultSpec] = []
+        for kind, entries in counts.items():
+            for module, count in entries:
+                n_nodes = targets.get(module, 1)
+                for _ in range(count):
+                    t = float(rng.uniform(0.0, horizon))
+                    if kind is FaultKind.NODE_CRASH:
+                        specs.append(FaultSpec(
+                            kind=kind, time=t, module=module,
+                            node=int(rng.integers(max(n_nodes, 1))),
+                            duration=repair))
+                    elif kind is FaultKind.STRAGGLER:
+                        specs.append(FaultSpec(
+                            kind=kind, time=t, module=module,
+                            node=int(rng.integers(max(n_nodes, 1))),
+                            duration=repair,
+                            magnitude=max(1.0, float(rng.uniform(1.5, 4.0)))))
+                    else:
+                        specs.append(FaultSpec(
+                            kind=kind, time=t, module=module, duration=repair,
+                            magnitude=max(1.0, float(rng.uniform(1.5, 4.0)))))
+        if drop > 0.0:
+            specs.append(FaultSpec(kind=FaultKind.MESSAGE_DROP, time=0.0,
+                                   duration=horizon, magnitude=drop))
+        specs.sort(key=lambda s: (s.time, s.kind.value, s.module, s.node))
+        return cls(seed=seed, specs=tuple(specs))
+
+
+class FaultInjector:
+    """Schedules a plan's faults as events on a simulator.
+
+    Consumers register handlers per fault kind *before* arming; when a
+    spec's time arrives the handler runs inside the simulation event loop,
+    exactly like a job arrival or phase completion.  ``RANK_KILL`` and
+    ``MESSAGE_DROP`` specs are not clock events (training steps / per-message
+    loss) and are skipped at arm time — the elastic trainer and
+    :meth:`unreliable` consume them instead.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.injected: list[tuple[float, FaultSpec]] = []
+        self._handlers: dict[FaultKind, list[Callable[[FaultSpec], None]]] = {}
+        self._armed = False
+
+    def on(self, kind: FaultKind, handler: Callable[[FaultSpec], None]) -> None:
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def arm(self, sim: Simulator) -> int:
+        """Schedule every clock-driven fault on ``sim``; returns the count."""
+        if self._armed:
+            raise RuntimeError("injector already armed")
+        self._armed = True
+        n = 0
+        for spec in self.plan:
+            if spec.kind in (FaultKind.RANK_KILL, FaultKind.MESSAGE_DROP):
+                continue
+            evt = sim.timeout(spec.time, value=spec,
+                              name=f"fault-{spec.kind.value}")
+            evt.add_callback(self._fire)
+            n += 1
+        return n
+
+    def _fire(self, evt: Event) -> None:
+        spec: FaultSpec = evt.value
+        self.injected.append((evt.time, spec))
+        for handler in self._handlers.get(spec.kind, ()):
+            handler(spec)
+
+    # -- simnet-level faults -----------------------------------------------
+    def unreliable(self, link: Link) -> Link | UnreliableLink:
+        """Wrap ``link`` with the plan's MESSAGE_DROP fault, if any."""
+        drops = self.plan.of_kind(FaultKind.MESSAGE_DROP)
+        if not drops:
+            return link
+        return UnreliableLink(link, drop_probability=drops[0].magnitude,
+                              seed=self.plan.seed)

@@ -1,0 +1,108 @@
+"""Recovery-cost accounting: injected faults vs observed recoveries.
+
+Serviceability claims need numbers: how long jobs took to get rescheduled
+after a node died (MTTR), how many retries the workload burned, and how
+much already-computed work was lost.  The scheduler and the elastic
+trainer both feed a :class:`ResilienceReport`, and the bench/property
+suites assert recovery cost against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.resilience.faults import FaultSpec
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A job's phase was killed by an injected fault."""
+
+    job_name: str
+    phase_index: int
+    time: float
+    module_key: str
+    node: int
+    lost_node_seconds: float
+    attempt: int                   # failure number for this job (1-based)
+
+
+@dataclass(frozen=True)
+class RequeueEvent:
+    """A failed job was put back in the queue after backoff."""
+
+    job_name: str
+    attempt: int
+    backoff_s: float
+    time: float                    # when the requeue was scheduled
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """A previously failed job started running again."""
+
+    job_name: str
+    attempt: int
+    failed_at: float
+    restarted_at: float
+
+    @property
+    def time_to_recover(self) -> float:
+        return self.restarted_at - self.failed_at
+
+
+@dataclass
+class ResilienceReport:
+    """Everything that went wrong and how the system coped."""
+
+    faults_injected: list[tuple[float, "FaultSpec"]] = field(default_factory=list)
+    failures: list[FailureEvent] = field(default_factory=list)
+    requeues: list[RequeueEvent] = field(default_factory=list)
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
+    jobs_failed_permanently: list[str] = field(default_factory=list)
+    repairs: list[tuple[float, str, int]] = field(default_factory=list)
+
+    # -- headline metrics ----------------------------------------------------
+    @property
+    def total_retries(self) -> int:
+        return len(self.requeues)
+
+    @property
+    def lost_node_seconds(self) -> float:
+        return sum(f.lost_node_seconds for f in self.failures)
+
+    @property
+    def mttr_s(self) -> Optional[float]:
+        """Mean time from a failure to the job running again."""
+        if not self.recoveries:
+            return None
+        return sum(r.time_to_recover for r in self.recoveries) / len(self.recoveries)
+
+    def retries_per_job(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for rq in self.requeues:
+            out[rq.job_name] = out.get(rq.job_name, 0) + 1
+        return out
+
+    def backoff_schedule(self, job_name: str) -> list[float]:
+        """Backoff delays a job actually received, in attempt order."""
+        return [rq.backoff_s for rq in
+                sorted((r for r in self.requeues if r.job_name == job_name),
+                       key=lambda r: r.attempt)]
+
+    def summary(self) -> str:
+        rows = [
+            "resilience report:",
+            f"  faults injected   : {len(self.faults_injected)}",
+            f"  phase failures    : {len(self.failures)}",
+            f"  retries           : {self.total_retries}",
+            f"  recoveries        : {len(self.recoveries)}",
+            f"  permanent failures: {len(self.jobs_failed_permanently)}",
+            f"  lost work         : {self.lost_node_seconds:,.0f} node-s",
+        ]
+        mttr = self.mttr_s
+        rows.append(f"  MTTR              : "
+                    + (f"{mttr:,.0f} s" if mttr is not None else "n/a"))
+        return "\n".join(rows)

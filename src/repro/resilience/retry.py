@@ -1,0 +1,76 @@
+"""Retry with exponential backoff and deterministic jitter.
+
+Production schedulers (IBM Deep Learning Service, Slurm's requeue) back a
+failed job off before requeueing it so a flapping node doesn't thrash the
+queue, and add jitter so simultaneous failures don't retry in lock-step.
+Jitter here is *deterministic*: a stable hash of (seed, job key, attempt)
+drives it, so simulations replay identically and delays stay reproducible
+across processes and Python hash randomisation.
+
+Monotonicity guarantee: ``backoff_factor >= 1 + jitter`` is enforced, which
+makes the delay sequence per job non-decreasing in the attempt number even
+at the jitter extremes — the property suite sweeps this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+def _stable_uniform(seed: int, key: str, attempt: int) -> float:
+    """Uniform [0, 1) from a stable hash — independent of call order."""
+    digest = hashlib.blake2b(
+        f"{seed}:{key}:{attempt}".encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0 ** 64
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with bounded deterministic jitter.
+
+    ``delay(attempt)`` for attempt 1, 2, ... is
+    ``base_delay_s * backoff_factor**(attempt-1) * (1 + jitter * u)`` with
+    ``u`` uniform in [0, 1) derived from ``(seed, key, attempt)``.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 30.0
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    seed: int = 0
+    max_delay_s: float = 24 * 3600.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.base_delay_s <= 0:
+            raise ValueError("base_delay_s must be positive")
+        if not (0.0 <= self.jitter < 1.0):
+            raise ValueError("jitter must be in [0, 1)")
+        if self.backoff_factor < 1.0 + self.jitter:
+            raise ValueError(
+                "backoff_factor must be >= 1 + jitter "
+                "(guarantees non-decreasing delays)")
+        if self.max_delay_s <= 0:
+            raise ValueError("max_delay_s must be positive")
+
+    def should_retry(self, attempt: int) -> bool:
+        """True if a job that has failed ``attempt`` times may run again."""
+        return attempt <= self.max_retries
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Backoff delay (s) before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        raw = self.base_delay_s * self.backoff_factor ** (attempt - 1)
+        u = _stable_uniform(self.seed, key, attempt)
+        return min(raw * (1.0 + self.jitter * u), self.max_delay_s)
+
+    def delays(self, key: str = "") -> list[float]:
+        """The full backoff schedule for one job."""
+        return [self.delay(a, key) for a in range(1, self.max_retries + 1)]
+
+
+#: Retrying disabled: first failure is terminal.
+NO_RETRY = RetryPolicy(max_retries=0)

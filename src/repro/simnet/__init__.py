@@ -24,7 +24,7 @@ from repro.simnet.events import (
     SimulationError,
     Simulator,
 )
-from repro.simnet.link import Link, LinkKind, DuplexLink
+from repro.simnet.link import Link, LinkKind, DuplexLink, UnreliableLink
 from repro.simnet.topology import (
     Topology,
     fat_tree,
@@ -55,6 +55,7 @@ __all__ = [
     "Simulator",
     "Link",
     "DuplexLink",
+    "UnreliableLink",
     "LinkKind",
     "Topology",
     "fat_tree",

@@ -36,12 +36,29 @@ class Event:
     name: str = ""
     _value: Any = None
     _triggered: bool = False
+    _cancelled: bool = False
     _time: Optional[float] = None
     _callbacks: list = field(default_factory=list)
 
     @property
     def triggered(self) -> bool:
         return self._triggered
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Prevent a pending event from firing.
+
+        A cancelled event stays in the queue but is discarded when its time
+        comes: callbacks never run and the event never triggers.  Fault
+        handling uses this to retract a phase-completion event when the
+        phase's node crashes mid-run.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot cancel fired event {self.name!r}")
+        self._cancelled = True
 
     @property
     def value(self) -> Any:
@@ -66,6 +83,8 @@ class Event:
         return self
 
     def _fire(self, now: float) -> None:
+        if self._cancelled:
+            return
         if self._triggered:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._triggered = True
@@ -254,8 +273,9 @@ class Simulator:
         if time < self.now:
             raise SimulationError("time ran backwards")
         self.now = time
-        self._processed += 1
-        event._fire(self.now)
+        if not event._cancelled:
+            self._processed += 1
+            event._fire(self.now)
         return True
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:

@@ -9,8 +9,10 @@ between GPUs inside a node, and PCIe for host↔accelerator traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
+
+import numpy as np
 
 
 class LinkKind(str, Enum):
@@ -66,6 +68,21 @@ class Link:
             return 0.0
         return nbytes / self.transfer_time(nbytes)
 
+    def degraded(self, factor: float) -> "Link":
+        """This link running degraded: bandwidth divided by ``factor``.
+
+        Fault injection uses this for partial link failures (a flapping
+        cable, a congested federation bridge) where traffic still flows but
+        slower; ``factor=1`` is the healthy link.
+        """
+        if factor < 1.0:
+            raise ValueError("degradation factor must be >= 1")
+        return Link(
+            kind=self.kind,
+            latency_s=self.latency_s,
+            bandwidth_Bps=self.bandwidth_Bps / factor,
+        )
+
 
 @dataclass(frozen=True)
 class DuplexLink:
@@ -88,3 +105,56 @@ class DuplexLink:
     def exchange_time(self, nbytes: float) -> float:
         """Simultaneous pairwise exchange (both directions overlap)."""
         return self.link.transfer_time(nbytes)
+
+
+@dataclass
+class UnreliableLink:
+    """A link that drops messages; dropped messages are retransmitted.
+
+    Models transient message loss (the MESSAGE_DROP fault class): each
+    transfer attempt independently fails with ``drop_probability``; a failed
+    attempt costs a retransmission timeout before the next try.  The drop
+    sequence is driven by a seeded RNG so simulations stay reproducible.
+    """
+
+    link: Link
+    drop_probability: float = 0.0
+    retry_timeout_s: float = 1e-4
+    seed: int = 0
+    max_attempts: int = 100
+    _rng: np.random.Generator = field(init=False, repr=False)
+    #: Delivery accounting for the resilience report.
+    attempts: int = field(init=False, default=0)
+    drops: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.drop_probability < 1.0):
+            raise ValueError("drop_probability must be in [0, 1)")
+        if self.retry_timeout_s < 0:
+            raise ValueError("retry_timeout_s must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def kind(self) -> LinkKind:
+        return self.link.kind
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Time to deliver ``nbytes``, including seeded retransmissions."""
+        base = self.link.transfer_time(nbytes)
+        total = 0.0
+        for _ in range(self.max_attempts):
+            self.attempts += 1
+            total += base
+            if self._rng.random() >= self.drop_probability:
+                return total
+            self.drops += 1
+            total += self.retry_timeout_s
+        raise RuntimeError(
+            f"message lost {self.max_attempts} times on {self.link.kind}"
+        )
+
+    def expected_transfer_time(self, nbytes: float) -> float:
+        """Analytic mean delivery time: base/(1-p) plus timeout overhead."""
+        p = self.drop_probability
+        base = self.link.transfer_time(nbytes)
+        return base / (1.0 - p) + self.retry_timeout_s * p / (1.0 - p)

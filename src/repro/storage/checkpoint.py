@@ -10,11 +10,18 @@ memory-class bandwidth, and restarts read them back without touching disk.
 models and the DL framework's ``state_dict`` convention, so a real training
 loop can checkpoint its model and the E10-adjacent bench can compare the
 two paths' times at growing state sizes.
+
+Resilience additions: every payload carries a CRC32 that is verified on
+restore, a checkpoint may be **replicated** to both targets, and
+:meth:`CheckpointManager.restore_with_fallback` walks a
+:class:`~repro.resilience.policy.CheckpointPolicy`'s restore order so a
+corrupt or missing NAM copy falls back to the PFS replica (or vice versa).
 """
 
 from __future__ import annotations
 
 import pickle
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -25,9 +32,11 @@ from repro.storage.pfs import ParallelFileSystem
 
 GiB = 1024 ** 3
 
+_TARGETS = ("nam", "pfs")
+
 
 class CheckpointError(RuntimeError):
-    """Raised for missing or corrupt checkpoints."""
+    """Raised for missing, truncated or corrupt checkpoints."""
 
 
 def state_nbytes(state: dict[str, np.ndarray]) -> int:
@@ -42,6 +51,18 @@ class CheckpointRecord:
     nbytes: int
     target: str                  # "nam" | "pfs"
     payload: bytes = field(repr=False, default=b"")
+    checksum: int = 0            # CRC32 of the payload at write time
+
+    def verify(self) -> None:
+        """Integrity check: truncation changes the length, bit-rot the CRC."""
+        if len(self.payload) != self.nbytes:
+            raise CheckpointError(
+                f"checkpoint {self.name!r} on {self.target} truncated: "
+                f"{len(self.payload)} of {self.nbytes} bytes")
+        if zlib.crc32(self.payload) != self.checksum:
+            raise CheckpointError(
+                f"checkpoint {self.name!r} on {self.target} corrupt "
+                "(checksum mismatch)")
 
 
 class CheckpointManager:
@@ -57,19 +78,23 @@ class CheckpointManager:
                  prefer: str = "nam") -> None:
         if nam is None and pfs is None:
             raise ValueError("need at least one storage target")
-        if prefer not in ("nam", "pfs"):
+        if prefer not in _TARGETS:
             raise ValueError("prefer must be 'nam' or 'pfs'")
         self.nam = nam
         self.pfs = pfs
         self.prefer = prefer
-        self._records: dict[str, CheckpointRecord] = {}
+        self._records: dict[tuple[str, str], CheckpointRecord] = {}
+
+    def _backend(self, target: str):
+        if target == "nam":
+            return self.nam
+        if target == "pfs":
+            return self.pfs
+        raise ValueError(f"unknown target {target!r}")
 
     # -- write -----------------------------------------------------------
-    def save(self, name: str, step: int, state: dict[str, np.ndarray],
-             target: Optional[str] = None) -> float:
-        """Persist a checkpoint; returns the modelled write time (s)."""
-        target = target or self.prefer
-        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+    def _write_one(self, name: str, step: int, payload: bytes,
+                   target: str) -> float:
         nbytes = len(payload)
         if target == "nam":
             if self.nam is None:
@@ -78,7 +103,7 @@ class CheckpointManager:
             if self.nam.contains(key):
                 self.nam.evict(key)   # overwrite semantics
             t = self.nam.stage(key, nbytes)
-        elif target == "pfs":
+        else:
             if self.pfs is None:
                 raise CheckpointError("no PFS attached")
             path = f"/ckpt/{name}"
@@ -86,38 +111,140 @@ class CheckpointManager:
                 self.pfs.unlink(path)
             handle = self.pfs.create(path, nbytes)
             t = self.pfs.write_time(handle)
-        else:
-            raise ValueError(f"unknown target {target!r}")
-        self._records[name] = CheckpointRecord(
+        self._records[(name, target)] = CheckpointRecord(
             name=name, step=step, nbytes=nbytes, target=target,
-            payload=payload)
+            payload=payload, checksum=zlib.crc32(payload))
         return t
 
+    def save(self, name: str, step: int, state: dict[str, np.ndarray],
+             target: Optional[str] = None, replicate: bool = False) -> float:
+        """Persist a checkpoint; returns the modelled write time (s).
+
+        With ``replicate=True`` the payload is written to *both* attached
+        targets (the belt-and-braces mode fault-tolerant runs use) and the
+        slower write time is returned — replicas are written concurrently.
+        """
+        target = target or self.prefer
+        if target not in _TARGETS:
+            raise ValueError(f"unknown target {target!r}")
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        if replicate:
+            if self.nam is None or self.pfs is None:
+                raise CheckpointError("replication needs both NAM and PFS")
+            return max(self._write_one(name, step, payload, t)
+                       for t in _TARGETS)
+        return self._write_one(name, step, payload, target)
+
     # -- read --------------------------------------------------------------
-    def restore(self, name: str) -> tuple[dict[str, np.ndarray], int, float]:
-        """Returns (state, step, modelled read time)."""
-        record = self._records.get(name)
-        if record is None:
-            raise CheckpointError(f"no checkpoint named {name!r}")
+    def _restore_one(self, record: CheckpointRecord
+                     ) -> tuple[dict[str, np.ndarray], int, float]:
+        record.verify()
         if record.target == "nam":
-            t = self.nam.read_time(f"ckpt:{name}")
+            t = self.nam.read_time(f"ckpt:{record.name}")
         else:
-            handle = self.pfs.open(f"/ckpt/{name}")
+            handle = self.pfs.open(f"/ckpt/{record.name}")
             t = self.pfs.read_time(handle)
-        state = pickle.loads(record.payload)
+        try:
+            state = pickle.loads(record.payload)
+        except Exception as exc:  # corrupt but checksum-consistent payloads
+            raise CheckpointError(
+                f"checkpoint {record.name!r} on {record.target} "
+                f"unreadable: {exc}") from exc
         return state, record.step, t
 
-    def exists(self, name: str) -> bool:
-        return name in self._records
+    def restore(self, name: str, target: Optional[str] = None
+                ) -> tuple[dict[str, np.ndarray], int, float]:
+        """Returns (state, step, modelled read time).
 
-    def drop(self, name: str) -> None:
-        record = self._records.pop(name, None)
-        if record is None:
+        Without ``target`` the preferred copy is read if present, else the
+        other one (matching the pre-replication behaviour of one record per
+        name).  Integrity is always verified; a truncated or bit-flipped
+        payload raises :class:`CheckpointError`.
+        """
+        if target is not None:
+            record = self._records.get((name, target))
+            if record is None:
+                raise CheckpointError(
+                    f"no checkpoint named {name!r} on {target}")
+            return self._restore_one(record)
+        order = (self.prefer,) + tuple(t for t in _TARGETS if t != self.prefer)
+        for t in order:
+            record = self._records.get((name, t))
+            if record is not None:
+                return self._restore_one(record)
+        raise CheckpointError(f"no checkpoint named {name!r}")
+
+    def restore_with_fallback(self, name: str, policy: Any
+                              ) -> tuple[dict[str, np.ndarray], int, float, str]:
+        """Walk ``policy.restore_order()`` until a copy restores cleanly.
+
+        Returns ``(state, step, read time, target restored from)``.  A
+        missing or corrupt copy on the preferred target falls through to
+        the secondary when the policy allows fallback; when every candidate
+        fails the last error propagates wrapped in a summary.
+        """
+        errors: list[str] = []
+        for target in policy.restore_order():
+            record = self._records.get((name, target))
+            if record is None:
+                errors.append(f"{target}: no copy")
+                continue
+            try:
+                state, step, t = self._restore_one(record)
+                return state, step, t, target
+            except CheckpointError as exc:
+                errors.append(f"{target}: {exc}")
+        raise CheckpointError(
+            f"no restorable copy of {name!r} ({'; '.join(errors)})")
+
+    def exists(self, name: str, target: Optional[str] = None) -> bool:
+        if target is not None:
+            return (name, target) in self._records
+        return any((name, t) in self._records for t in _TARGETS)
+
+    def latest_step(self, name: str) -> int:
+        """Newest step recorded under ``name`` across targets."""
+        steps = [r.step for (n, _), r in self._records.items() if n == name]
+        if not steps:
             raise CheckpointError(f"no checkpoint named {name!r}")
-        if record.target == "nam" and self.nam is not None:
-            self.nam.evict(f"ckpt:{name}")
-        elif record.target == "pfs" and self.pfs is not None:
-            self.pfs.unlink(f"/ckpt/{name}")
+        return max(steps)
+
+    def drop(self, name: str, target: Optional[str] = None) -> None:
+        """Remove copies of ``name`` (all targets unless one is named)."""
+        targets = (target,) if target is not None else _TARGETS
+        dropped = False
+        for t in targets:
+            record = self._records.pop((name, t), None)
+            if record is None:
+                continue
+            dropped = True
+            if t == "nam" and self.nam is not None:
+                self.nam.evict(f"ckpt:{name}")
+            elif t == "pfs" and self.pfs is not None:
+                self.pfs.unlink(f"/ckpt/{name}")
+        if not dropped:
+            where = f" on {target}" if target is not None else ""
+            raise CheckpointError(f"no checkpoint named {name!r}{where}")
+
+    # -- fault-injection hook ------------------------------------------------
+    def corrupt(self, name: str, target: Optional[str] = None,
+                truncate: bool = False) -> None:
+        """Damage a stored copy (testing hook for recovery drills).
+
+        ``truncate=True`` chops the payload in half (a partial write);
+        otherwise a byte is flipped in place (bit-rot).  Either way the
+        next :meth:`restore` of this copy raises :class:`CheckpointError`.
+        """
+        target = target or self.prefer
+        record = self._records.get((name, target))
+        if record is None:
+            raise CheckpointError(f"no checkpoint named {name!r} on {target}")
+        if truncate:
+            record.payload = record.payload[: len(record.payload) // 2]
+        else:
+            buf = bytearray(record.payload)
+            buf[len(buf) // 2] ^= 0xFF
+            record.payload = bytes(buf)
 
     # -- the ref [12] comparison --------------------------------------------
     def path_comparison(self, nbytes: int,

@@ -1,4 +1,9 @@
-"""The heterogeneous scheduler and the Fig. 2 (E2) placement experiment."""
+"""The heterogeneous scheduler and the Fig. 2 (E2) placement experiment.
+
+System and job construction comes from the shared fixtures in
+``conftest.py`` (``small_system`` / ``make_small_system``, ``gpu_job``,
+``cpu_job``).
+"""
 
 import pytest
 
@@ -23,50 +28,28 @@ from repro.core import (
 )
 
 
-def small_msa() -> MSASystem:
-    sys = MSASystem("MSA-test")
-    sys.add_module("cm", ClusterModule("CM", DEEP_CM_NODE, 8))
-    sys.add_module("esb", BoosterModule("ESB", DEEP_ESB_NODE, 8))
-    sys.add_module("dam", DataAnalyticsModule("DAM", DEEP_DAM_NODE, 2))
-    sys.add_module("sssm", StorageModule("SSSM", capacity_PB=1.0))
-    return sys
-
-
-def gpu_job(name="train", arrival=0.0, nodes=8) -> Job:
-    return Job(name=name, arrival_time=arrival, phases=[JobPhase(
-        name="train", workload=WorkloadClass.ML_TRAINING,
-        work_flops=1e17, nodes=nodes, parallel_fraction=0.99,
-        uses_gpu=True, uses_tensor_cores=True)])
-
-
-def cpu_job(name="solve", arrival=0.0, nodes=2) -> Job:
-    return Job(name=name, arrival_time=arrival, phases=[JobPhase(
-        name="solve", workload=WorkloadClass.SIMULATION_LOWSCALE,
-        work_flops=1e14, nodes=nodes, parallel_fraction=0.9)])
-
-
 class TestBasicScheduling:
-    def test_single_job_completes(self):
-        report = schedule_workload(small_msa(), [gpu_job()])
+    def test_single_job_completes(self, small_system, gpu_job):
+        report = schedule_workload(small_system, [gpu_job()])
         assert len(report.completion_times) == 1
         assert report.makespan > 0
 
-    def test_matchmaking_places_gpu_job_on_booster(self):
-        report = schedule_workload(small_msa(), [gpu_job()])
+    def test_matchmaking_places_gpu_job_on_booster(self, small_system, gpu_job):
+        report = schedule_workload(small_system, [gpu_job()])
         assert report.allocations[0].module_key == "esb"
 
-    def test_matchmaking_places_cpu_job_on_cluster(self):
-        report = schedule_workload(small_msa(), [cpu_job()])
+    def test_matchmaking_places_cpu_job_on_cluster(self, small_system, cpu_job):
+        report = schedule_workload(small_system, [cpu_job()])
         assert report.allocations[0].module_key == "cm"
 
-    def test_analytics_lands_on_dam(self):
+    def test_analytics_lands_on_dam(self, small_system):
         job = Job(name="spark", phases=[JobPhase(
             name="pipeline", workload=WorkloadClass.DATA_ANALYTICS,
             work_flops=1e14, nodes=2, memory_GB_per_node=400.0)])
-        report = schedule_workload(small_msa(), [job])
+        report = schedule_workload(small_system, [job])
         assert report.allocations[0].module_key == "dam"
 
-    def test_multiphase_job_spans_modules(self):
+    def test_multiphase_job_spans_modules(self, small_system):
         job = Job(name="pipeline", phases=[
             JobPhase(name="prep", workload=WorkloadClass.SIMULATION_LOWSCALE,
                      work_flops=1e14, nodes=2),
@@ -74,90 +57,91 @@ class TestBasicScheduling:
                      work_flops=1e17, nodes=8, uses_gpu=True,
                      uses_tensor_cores=True, parallel_fraction=0.99),
         ])
-        report = schedule_workload(small_msa(), [job])
+        report = schedule_workload(small_system, [job])
         modules = [a.module_key for a in report.allocations]
         assert modules == ["cm", "esb"]
 
-    def test_phases_run_in_order(self):
+    def test_phases_run_in_order(self, small_system):
         job = Job(name="j", phases=[
             JobPhase(name=f"s{i}", workload=WorkloadClass.SIMULATION_LOWSCALE,
                      work_flops=1e13, nodes=1) for i in range(3)])
-        report = schedule_workload(small_msa(), [job])
+        report = schedule_workload(small_system, [job])
         allocs = sorted(report.allocations, key=lambda a: a.phase_index)
         for earlier, later in zip(allocs, allocs[1:]):
             assert later.start >= earlier.end
 
-    def test_all_nodes_released_at_end(self):
-        system = small_msa()
-        sched = MsaScheduler(system)
+    def test_all_nodes_released_at_end(self, small_system):
+        sched = MsaScheduler(small_system)
         sched.submit_all(synthetic_workload_mix(n_jobs=8, seed=0))
         sched.run()
-        for module in system.compute_modules().values():
+        for module in small_system.compute_modules().values():
             assert module.free_nodes == module.n_nodes
 
 
 class TestQueueing:
-    def test_contention_creates_waits(self):
+    def test_contention_creates_waits(self, small_system, gpu_job):
         jobs = [gpu_job(f"g{i}", arrival=0.0, nodes=8) for i in range(3)]
-        report = schedule_workload(small_msa(), jobs)
+        report = schedule_workload(small_system, jobs)
         waits = sorted(report.wait_times.values())
         assert waits[0] == 0.0
         assert waits[-1] > 0.0
 
-    def test_patience_keeps_training_off_cpu_cluster(self):
+    def test_patience_keeps_training_off_cpu_cluster(self, small_system, gpu_job):
         # Even with the booster saturated, DL training waits rather than
         # running 100x slower on the CPU cluster.
         jobs = [gpu_job(f"g{i}", arrival=0.0, nodes=8) for i in range(4)]
-        report = schedule_workload(small_msa(), jobs)
+        report = schedule_workload(small_system, jobs)
         for alloc in report.allocations:
             assert alloc.module_key != "cm"
 
-    def test_backfill_lets_small_cpu_jobs_through(self):
+    def test_backfill_lets_small_cpu_jobs_through(self, small_system,
+                                                  gpu_job, cpu_job):
         jobs = [gpu_job("g0", nodes=8), gpu_job("g1", nodes=8),
                 cpu_job("c0")]
         report = schedule_workload(
-            small_msa(), jobs, queue_policy=SchedulerPolicy.FCFS_BACKFILL)
+            small_system, jobs, queue_policy=SchedulerPolicy.FCFS_BACKFILL)
         # The CPU job must not wait behind the queued GPU job.
         assert report.wait_times["c0"] == 0.0
 
-    def test_strict_fcfs_blocks_later_jobs(self):
+    def test_strict_fcfs_blocks_later_jobs(self, small_system,
+                                           gpu_job, cpu_job):
         jobs = [gpu_job("g0", nodes=8), gpu_job("g1", nodes=8),
                 cpu_job("c0")]
         report = schedule_workload(
-            small_msa(), jobs, queue_policy=SchedulerPolicy.FCFS)
+            small_system, jobs, queue_policy=SchedulerPolicy.FCFS)
         assert report.wait_times["c0"] > 0.0
 
-    def test_first_fit_ignores_matching(self):
+    def test_first_fit_ignores_matching(self, small_system, gpu_job):
         report = schedule_workload(
-            small_msa(), [gpu_job()], placement=PlacementPolicy.FIRST_FIT)
+            small_system, [gpu_job()], placement=PlacementPolicy.FIRST_FIT)
         # Alphabetically first module with room is "cm".
         assert report.allocations[0].module_key == "cm"
 
 
 class TestReport:
-    def test_utilisation_in_unit_range(self):
-        report = schedule_workload(small_msa(),
+    def test_utilisation_in_unit_range(self, small_system):
+        report = schedule_workload(small_system,
                                    synthetic_workload_mix(n_jobs=6, seed=4))
         for util in report.module_utilisation.values():
             assert 0.0 <= util <= 1.0
 
-    def test_energy_positive_and_split(self):
-        report = schedule_workload(small_msa(),
+    def test_energy_positive_and_split(self, small_system):
+        report = schedule_workload(small_system,
                                    synthetic_workload_mix(n_jobs=6, seed=4))
         assert report.energy_busy_joules > 0
         assert report.energy_idle_joules > 0
         assert report.energy_total_joules == pytest.approx(
             report.energy_busy_joules + report.energy_idle_joules)
 
-    def test_summary_renders(self):
-        report = schedule_workload(small_msa(), [gpu_job()])
+    def test_summary_renders(self, small_system, gpu_job):
+        report = schedule_workload(small_system, [gpu_job()])
         text = report.summary()
         assert "makespan" in text and "util" in text
 
-    def test_deterministic_schedule(self):
+    def test_deterministic_schedule(self, make_small_system):
         jobs = synthetic_workload_mix(n_jobs=10, seed=9)
-        r1 = schedule_workload(small_msa(), jobs)
-        r2 = schedule_workload(small_msa(),
+        r1 = schedule_workload(make_small_system(), jobs)
+        r2 = schedule_workload(make_small_system(),
                                synthetic_workload_mix(n_jobs=10, seed=9))
         assert r1.makespan == r2.makespan
         assert r1.completion_times == r2.completion_times
@@ -198,7 +182,7 @@ class TestFig2Experiment:
 class TestFairShare:
     """Fair-share across user communities (the multi-community centre)."""
 
-    def _jobs(self):
+    def _jobs(self, gpu_job):
         # One community floods the queue; another submits a single job last.
         flood = [gpu_job(f"rs-{i}", nodes=8) for i in range(4)]
         for job in flood:
@@ -207,23 +191,25 @@ class TestFairShare:
         latecomer.user = "health"
         return flood + [latecomer]
 
-    def test_fair_share_boosts_underserved_community(self):
-        fcfs = schedule_workload(small_msa(), self._jobs(),
+    def test_fair_share_boosts_underserved_community(self, make_small_system,
+                                                     gpu_job):
+        fcfs = schedule_workload(make_small_system(), self._jobs(gpu_job),
                                  queue_policy=SchedulerPolicy.FCFS_BACKFILL)
-        fair = schedule_workload(small_msa(), self._jobs(),
+        fair = schedule_workload(make_small_system(), self._jobs(gpu_job),
                                  queue_policy=SchedulerPolicy.FAIR_SHARE)
         assert fair.wait_times["health-0"] < fcfs.wait_times["health-0"]
 
-    def test_fair_share_order_within_community_preserved(self):
-        report = schedule_workload(small_msa(), self._jobs(),
+    def test_fair_share_order_within_community_preserved(self, small_system,
+                                                         gpu_job):
+        report = schedule_workload(small_system, self._jobs(gpu_job),
                                    queue_policy=SchedulerPolicy.FAIR_SHARE)
         starts = {a.job_name: a.start for a in report.allocations}
         assert starts["rs-0"] <= starts["rs-1"] <= starts["rs-2"]
 
-    def test_fair_share_completes_everything(self):
-        report = schedule_workload(small_msa(), self._jobs(),
+    def test_fair_share_completes_everything(self, small_system, gpu_job):
+        report = schedule_workload(small_system, self._jobs(gpu_job),
                                    queue_policy=SchedulerPolicy.FAIR_SHARE)
         assert len(report.completion_times) == 5
 
-    def test_default_user_tag(self):
+    def test_default_user_tag(self, gpu_job):
         assert gpu_job().user == "default"

@@ -6,14 +6,11 @@ import pytest
 
 from repro.mpi import GlobalCollectiveEngine, ReduceOp, gce_allreduce, run_spmd
 from repro.mpi.runtime import spmd_sim_times
-from repro.simnet import CommCostModel, LinkKind
-
-FABRIC = CommCostModel.of_kind(LinkKind.INFINIBAND_HDR)
 
 
 @pytest.fixture
-def gce():
-    return GlobalCollectiveEngine(FABRIC)
+def gce(hdr_fabric):
+    return GlobalCollectiveEngine(hdr_fabric)
 
 
 @pytest.mark.parametrize("ws", [1, 2, 3, 4, 8])
@@ -82,14 +79,14 @@ def test_gce_invalid_rank_count(gce):
         gce.allreduce_time(0, 1024)
 
 
-def test_gce_simulated_clock_charged_gce_time(gce):
+def test_gce_simulated_clock_charged_gce_time(gce, hdr_fabric):
     nbytes = 100_000 * 8
 
     def fn(comm):
         gce_allreduce(comm, np.zeros(100_000), gce)
         return comm.sim_time
 
-    _, times = spmd_sim_times(fn, 4, cost_model=FABRIC)
+    _, times = spmd_sim_times(fn, 4, cost_model=hdr_fabric)
     expected = gce.allreduce_time(4, nbytes)
     assert max(times) == pytest.approx(expected, rel=0.05)
 

@@ -24,8 +24,8 @@ def test_negative_compute_rejected():
         run_spmd(lambda comm: comm.compute(-1.0), 2)
 
 
-def test_message_charges_link_cost():
-    model = CommCostModel.of_kind(LinkKind.INFINIBAND_HDR)
+def test_message_charges_link_cost(hdr_fabric):
+    model = hdr_fabric
 
     def fn(comm):
         if comm.rank == 0:
@@ -74,12 +74,12 @@ def test_more_ranks_cost_more_latency():
     assert max(t8) > max(t2)
 
 
-def test_slower_fabric_slower_clock():
+def test_slower_fabric_slower_clock(hdr_fabric):
     def fn(comm):
         comm.allreduce(np.ones(500_000))
         return comm.sim_time
 
-    fast = CommCostModel.of_kind(LinkKind.INFINIBAND_HDR)
+    fast = hdr_fabric
     slow = CommCostModel.of_kind(LinkKind.ETHERNET_100G)
     _, t_fast = spmd_sim_times(fn, 4, cost_model=fast)
     _, t_slow = spmd_sim_times(fn, 4, cost_model=slow)

@@ -1,0 +1,140 @@
+"""Checkpoint round-trips, integrity verification and replication.
+
+Complements ``test_extensions.py``'s basic save/restore coverage with the
+resilience-facing surface: CRC32 verification (bit-rot and truncation both
+raise :class:`CheckpointError`), per-target records, replication to both
+paths, and policy-driven restore order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.resilience import CheckpointPolicy
+from repro.storage import NetworkAttachedMemory, ParallelFileSystem
+from repro.storage.checkpoint import (
+    CheckpointError,
+    CheckpointManager,
+    state_nbytes,
+)
+
+
+def _state(seed=0, n=512):
+    rng = np.random.default_rng(seed)
+    return {"w": rng.normal(size=n), "b": rng.normal(size=8)}
+
+
+@pytest.fixture
+def mgr():
+    return CheckpointManager(nam=NetworkAttachedMemory(capacity_GB=1),
+                             pfs=ParallelFileSystem("fs", n_targets=4))
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("target", ["nam", "pfs"])
+    def test_roundtrip_per_target(self, mgr, target):
+        state = _state()
+        t_write = mgr.save("m", step=9, state=state, target=target)
+        restored, step, t_read = mgr.restore("m", target=target)
+        assert step == 9
+        assert t_write > 0 and t_read > 0
+        for key in state:
+            np.testing.assert_array_equal(restored[key], state[key])
+
+    def test_restore_falls_back_to_other_target_when_preferred_missing(self, mgr):
+        mgr.save("m", step=3, state=_state(), target="pfs")
+        _, step, _ = mgr.restore("m")          # prefer="nam", only pfs copy
+        assert step == 3
+
+    def test_replicate_writes_both_targets(self, mgr):
+        t = mgr.save("m", step=5, state=_state(), replicate=True)
+        assert mgr.exists("m", target="nam")
+        assert mgr.exists("m", target="pfs")
+        assert t >= max(mgr.save("solo", step=5, state=_state(), target=tgt)
+                        for tgt in ("nam", "pfs"))
+
+    def test_replicate_requires_both_backends(self):
+        solo = CheckpointManager(nam=NetworkAttachedMemory(capacity_GB=1))
+        with pytest.raises(CheckpointError):
+            solo.save("m", step=1, state=_state(), replicate=True)
+
+    def test_latest_step_across_targets(self, mgr):
+        mgr.save("m", step=4, state=_state(), target="pfs")
+        mgr.save("m", step=8, state=_state(), target="nam")
+        assert mgr.latest_step("m") == 8
+        with pytest.raises(CheckpointError):
+            mgr.latest_step("ghost")
+
+
+class TestIntegrity:
+    def test_truncated_payload_raises(self, mgr):
+        mgr.save("m", step=1, state=_state())
+        mgr.corrupt("m", target="nam", truncate=True)
+        with pytest.raises(CheckpointError, match="truncated"):
+            mgr.restore("m", target="nam")
+
+    def test_bit_flip_raises_checksum_mismatch(self, mgr):
+        mgr.save("m", step=1, state=_state())
+        mgr.corrupt("m", target="nam")
+        with pytest.raises(CheckpointError, match="checksum"):
+            mgr.restore("m", target="nam")
+
+    def test_corrupting_missing_copy_raises(self, mgr):
+        with pytest.raises(CheckpointError):
+            mgr.corrupt("ghost")
+
+    def test_intact_replica_unaffected_by_corruption(self, mgr):
+        state = _state()
+        mgr.save("m", step=2, state=state, replicate=True)
+        mgr.corrupt("m", target="nam", truncate=True)
+        restored, step, _ = mgr.restore("m", target="pfs")
+        assert step == 2
+        np.testing.assert_array_equal(restored["w"], state["w"])
+
+
+class TestDrop:
+    def test_drop_removes_all_copies(self, mgr):
+        mgr.save("m", step=1, state=_state(), replicate=True)
+        mgr.drop("m")
+        assert not mgr.exists("m")
+        with pytest.raises(CheckpointError):
+            mgr.restore("m")
+
+    def test_drop_single_target(self, mgr):
+        mgr.save("m", step=1, state=_state(), replicate=True)
+        mgr.drop("m", target="nam")
+        assert not mgr.exists("m", target="nam")
+        assert mgr.exists("m", target="pfs")
+
+    def test_drop_missing_raises(self, mgr):
+        with pytest.raises(CheckpointError):
+            mgr.drop("ghost")
+
+
+class TestPolicy:
+    def test_restore_order_follows_preference(self):
+        assert CheckpointPolicy(prefer="nam").restore_order() == ("nam", "pfs")
+        assert CheckpointPolicy(prefer="pfs").restore_order() == ("pfs", "nam")
+        assert CheckpointPolicy(fallback=False).restore_order() == ("nam",)
+
+    def test_cadence(self):
+        policy = CheckpointPolicy(every_steps=4)
+        assert [s for s in range(1, 13) if policy.should_checkpoint(s)] == \
+               [4, 8, 12]
+
+    def test_replication_requires_fallback(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(fallback=False, replicate=True)
+
+    def test_invalid_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            CheckpointPolicy(every_steps=0)
+
+
+def test_state_nbytes_counts_payload():
+    state = {"w": np.zeros(100, dtype=np.float64)}
+    assert state_nbytes(state) == 800
+
+
+def test_path_comparison_nam_faster(mgr):
+    comparison = mgr.path_comparison(1 << 30, concurrent_writers=16)
+    assert comparison["nam"] < comparison["pfs"]
