@@ -7,6 +7,8 @@ Commands mirror the operator tasks the examples walk through:
   print the schedule report,
 * ``scaling`` — print the Fig. 3 distributed-training scaling series,
 * ``submit`` — compile an ``#SBATCH``/``#PHASE`` job script and schedule it,
+* ``serve`` — run an online-serving scenario (arrivals, SLO, autoscaling,
+  optional fault plan) and print the serving report,
 * ``experiments`` — list every experiment and the bench that regenerates it.
 """
 
@@ -43,6 +45,8 @@ EXPERIMENTS = [
      "benchmarks/bench_modular_placement.py"),
     ("E13", "Fig. 3 A ((near) real-time disaster processing)",
      "benchmarks/bench_realtime_stream.py"),
+    ("E14", "online serving (SLO capacity, autoscaling, failover)",
+     "benchmarks/bench_serving_slo.py"),
     ("ABL", "design-choice ablations",
      "benchmarks/bench_ablations.py"),
 ]
@@ -116,6 +120,47 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.resilience.faults import FaultInjector, FaultPlan
+    from repro.serving import (
+        AdmissionPolicy,
+        ArrivalPattern,
+        AutoscalerConfig,
+        ServingConfig,
+        TraceConfig,
+        simulate_serving,
+    )
+
+    system = _build_system(args.system)
+    config = ServingConfig(
+        trace=TraceConfig(
+            pattern=ArrivalPattern(args.scenario),
+            rate_per_s=args.rate,
+            duration_s=args.duration,
+            slo_deadline_s=args.slo,
+            samples_per_request=args.samples,
+            seed=args.seed,
+        ),
+        admission=AdmissionPolicy(rate_limit_per_s=args.rate_limit,
+                                  max_queue_depth=args.max_queue),
+        autoscaler=AutoscalerConfig(enabled=not args.no_autoscale,
+                                    min_replicas=args.replicas,
+                                    max_replicas=args.max_replicas),
+        initial_replicas=args.replicas,
+        cache_capacity=args.cache,
+    )
+    injector = None
+    if args.faults:
+        targets = {key: module.n_nodes
+                   for key, module in system.compute_modules().items()}
+        plan = FaultPlan.parse(args.faults, targets=targets,
+                               horizon_s=args.duration)
+        injector = FaultInjector(plan)
+    report = simulate_serving(config, system=system, fault_injector=injector)
+    print(report.to_text())
+    return 0 if report.meets_slo() else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[1]) for e in EXPERIMENTS)
     for exp_id, title, bench in EXPERIMENTS:
@@ -152,6 +197,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("script")
     p.add_argument("--system", default="deep", choices=("deep", "juwels"))
     p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("serve", help="run an online-serving scenario")
+    p.add_argument("--system", default="deep", choices=("deep", "juwels"))
+    p.add_argument("--scenario", default="poisson",
+                   choices=("poisson", "diurnal", "bursty"))
+    p.add_argument("--rate", type=float, default=100.0,
+                   help="mean arrival rate (req/s)")
+    p.add_argument("--duration", type=float, default=60.0,
+                   help="trace length (simulated s)")
+    p.add_argument("--slo", type=float, default=0.5,
+                   help="per-request deadline (s); exit status reports p99")
+    p.add_argument("--samples", type=int, default=8,
+                   help="samples (patches) per request")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--replicas", type=int, default=1,
+                   help="initial (and minimum) replica count")
+    p.add_argument("--max-replicas", type=int, default=8)
+    p.add_argument("--no-autoscale", action="store_true",
+                   help="pin the pool at --replicas")
+    p.add_argument("--rate-limit", type=float, default=0.0,
+                   help="admission token-bucket rate (0 = off)")
+    p.add_argument("--max-queue", type=int, default=0,
+                   help="shed arrivals beyond this queue depth (0 = off)")
+    p.add_argument("--cache", type=int, default=0,
+                   help="result-cache capacity in entries (0 = off)")
+    p.add_argument("--faults", default="",
+                   help="fault plan, e.g. seed=7,crash=esb:2,repair=10")
+    p.set_defaults(fn=cmd_serve)
 
     sub.add_parser("experiments", help="list experiments and benches"
                    ).set_defaults(fn=cmd_experiments)

@@ -69,9 +69,17 @@ from repro.core.scheduler import (
     PlacementPolicy,
     ScheduleReport,
     Allocation,
+    place_standalone,
+    rank_placements,
     schedule_workload,
 )
 from repro.core.energy import PowerModel, EnergyAccountant
+from repro.core.stats import (
+    LatencySummary,
+    latency_histogram,
+    percentile,
+    summarize_latencies,
+)
 
 __all__ = [
     "CpuSpec", "GpuSpec", "FpgaSpec", "MemorySpec", "StorageSpec", "NodeSpec",
@@ -86,6 +94,8 @@ __all__ = [
     "WorkloadClass", "JobPhase", "JobStatus", "CoAllocatedPhase", "Job",
     "synthetic_workload_mix",
     "MsaScheduler", "SchedulerPolicy", "PlacementPolicy", "ScheduleReport",
-    "Allocation", "schedule_workload",
+    "Allocation", "place_standalone", "rank_placements", "schedule_workload",
     "PowerModel", "EnergyAccountant",
+    "LatencySummary", "latency_histogram", "percentile",
+    "summarize_latencies",
 ]

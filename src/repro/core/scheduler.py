@@ -653,6 +653,61 @@ class MsaScheduler:
         )
 
 
+# ---------------------------------------------------------------------------
+# standalone matchmaking (serving replicas, ad-hoc placements)
+# ---------------------------------------------------------------------------
+
+def rank_placements(
+    system: MSASystem,
+    phase: JobPhase,
+    n_nodes: int = 1,
+    io_GBps: float = 40.0,
+) -> list[tuple[float, str, ComputeModule]]:
+    """Matchmaking scores for a standalone phase, best module first.
+
+    The same :func:`~repro.core.jobs.phase_runtime` scoring the batch
+    scheduler minimises, exposed for consumers that place long-lived
+    resources outside the job queue — the serving replica pool uses this to
+    decide whether a new inference replica lands on the ESB, the DAM or the
+    CM.  Ties break on the module key, so rankings are deterministic.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node per placement")
+    scored = [
+        (phase_runtime(phase, module, n_nodes, io_GBps=io_GBps), key, module)
+        for key, module in system.compute_modules().items()
+        if module.n_nodes >= n_nodes
+    ]
+    # Runtime first; among equally fast modules prefer the more scalable one
+    # (the paper's pattern: inference scales out on the big booster, not on
+    # the handful of DAM nodes that happen to carry the same GPU).
+    scored.sort(key=lambda s: (s[0], -s[2].n_nodes, s[1]))
+    return scored
+
+
+def place_standalone(
+    system: MSASystem,
+    phase: JobPhase,
+    n_nodes: int = 1,
+    suspect: Optional[dict[str, set[int]]] = None,
+    io_GBps: float = 40.0,
+) -> Optional[tuple[str, tuple[int, ...]]]:
+    """Allocate ``n_nodes`` on the best-scoring module with capacity.
+
+    Returns ``(module_key, node_ids)`` or ``None`` when no module currently
+    has enough free nodes.  ``suspect`` marks recently crashed nodes per
+    module; they are used only as a last resort (failure-aware placement,
+    same semantics as the batch scheduler).  The caller owns the release.
+    """
+    suspect = suspect or {}
+    for _, key, module in rank_placements(system, phase, n_nodes,
+                                          io_GBps=io_GBps):
+        if module.free_nodes >= n_nodes:
+            nodes = tuple(module.allocate(n_nodes, avoid=suspect.get(key)))
+            return key, nodes
+    return None
+
+
 def schedule_workload(
     system: MSASystem,
     jobs: list[Job],

@@ -1,0 +1,108 @@
+"""Shared latency statistics.
+
+Every service-quality surface in the repo — the Fig. 3 A real-time stream
+(:mod:`repro.core.streaming`) and the online serving subsystem
+(:mod:`repro.serving`) — is judged on the same numbers: latency
+percentiles, means, histograms.  This module is the single implementation
+both use, so "p99" always means exactly the same computation.
+
+All functions are deterministic and operate on plain sequences/arrays;
+nothing here touches the simulation clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float] | np.ndarray, q: float) -> float:
+    """The ``q``-th percentile (linear interpolation, numpy semantics).
+
+    Raises ``ValueError`` on an empty sample — a percentile of nothing is a
+    bug at the call site, not a 0.0.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile of an empty sample")
+    if not (0.0 <= q <= 100.0):
+        raise ValueError("percentile rank must be in [0, 100]")
+    return float(np.percentile(arr, q))
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """The headline latency numbers of one run, in seconds."""
+
+    count: int
+    mean_s: float
+    p50_s: float
+    p95_s: float
+    p99_s: float
+    max_s: float
+
+    def meets_deadline(self, deadline_s: float, quantile: float = 99.0) -> bool:
+        """Does the given latency quantile sit under the deadline?"""
+        if quantile == 50.0:
+            return self.p50_s <= deadline_s
+        if quantile == 95.0:
+            return self.p95_s <= deadline_s
+        if quantile == 99.0:
+            return self.p99_s <= deadline_s
+        raise ValueError("summary only carries p50/p95/p99")
+
+    def to_text(self, indent: str = "") -> str:
+        return "\n".join([
+            f"{indent}completed : {self.count}",
+            f"{indent}mean      : {self.mean_s * 1e3:.3f} ms",
+            f"{indent}p50       : {self.p50_s * 1e3:.3f} ms",
+            f"{indent}p95       : {self.p95_s * 1e3:.3f} ms",
+            f"{indent}p99       : {self.p99_s * 1e3:.3f} ms",
+            f"{indent}max       : {self.max_s * 1e3:.3f} ms",
+        ])
+
+
+def summarize_latencies(values: Sequence[float] | np.ndarray) -> LatencySummary:
+    """Collapse a latency sample into its :class:`LatencySummary`."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarise an empty latency sample")
+    return LatencySummary(
+        count=int(arr.size),
+        mean_s=float(arr.mean()),
+        p50_s=float(np.percentile(arr, 50)),
+        p95_s=float(np.percentile(arr, 95)),
+        p99_s=float(np.percentile(arr, 99)),
+        max_s=float(arr.max()),
+    )
+
+
+def latency_histogram(
+    values: Sequence[float] | np.ndarray,
+    n_bins: int = 20,
+    lo: Optional[float] = None,
+    hi: Optional[float] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Log-spaced latency histogram ``(bin_edges, counts)``.
+
+    Latency distributions are heavy-tailed; log-spaced bins keep both the
+    body and the tail visible.  ``lo``/``hi`` default to the sample extrema
+    (with a floor of 1 µs so zero-latency cache hits do not break the log
+    scale).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot histogram an empty latency sample")
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    floor = 1e-6
+    lo = max(float(arr.min()) if lo is None else lo, floor)
+    hi = max(float(arr.max()) if hi is None else hi, lo * (1 + 1e-9))
+    edges = np.logspace(np.log10(lo), np.log10(hi), n_bins + 1)
+    # logspace round-trips through log10; pin the extremes exactly so the
+    # min/max samples always land inside the outer bins.
+    edges[0], edges[-1] = lo, hi
+    counts, _ = np.histogram(np.maximum(arr, floor), bins=edges)
+    return edges, counts

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.stats import LatencySummary, percentile, summarize_latencies
 from repro.simnet.events import Resource, Simulator
 
 
@@ -60,11 +61,15 @@ class StreamingReport:
     def percentile(self, q: float) -> float:
         if self.n_completed == 0:
             raise ValueError("no completed scenes")
-        return float(np.percentile(self.latencies_s, q))
+        return percentile(self.latencies_s, q)
 
     @property
     def p50(self) -> float:
         return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
 
     @property
     def p99(self) -> float:
@@ -73,6 +78,12 @@ class StreamingReport:
     @property
     def mean_latency(self) -> float:
         return float(self.latencies_s.mean())
+
+    def latency_summary(self) -> LatencySummary:
+        """The shared p50/p95/p99 summary (same math as the serving path)."""
+        if self.n_completed == 0:
+            raise ValueError("no completed scenes")
+        return summarize_latencies(self.latencies_s)
 
     def meets_deadline(self, deadline_s: float, quantile: float = 99.0) -> bool:
         return self.percentile(quantile) <= deadline_s

@@ -29,9 +29,10 @@ from repro.distributed.deepspeed import ZeroStage1Optimizer, ZeroStage2Optimizer
 from repro.distributed.compression import NoCompression, Fp16Compression
 from repro.distributed.timeline import Timeline, TimelineEvent, merge_timelines
 from repro.distributed.inference import (distributed_predict, distributed_evaluate,
-    inference_scaleout_time, shard_bounds)
+    inference_scaleout_time, predict_in_batches, shard_bounds)
 from repro.distributed.perfmodel import (
     DistributedTrainingPerfModel,
+    InferencePerfModel,
     ScalingPoint,
     TrainingRecipe,
 )
@@ -54,9 +55,11 @@ __all__ = [
     "distributed_predict",
     "distributed_evaluate",
     "inference_scaleout_time",
+    "predict_in_batches",
     "shard_bounds",
     "Fp16Compression",
     "DistributedTrainingPerfModel",
+    "InferencePerfModel",
     "ScalingPoint",
     "TrainingRecipe",
 ]

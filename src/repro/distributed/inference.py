@@ -88,6 +88,42 @@ def distributed_evaluate(
     }
 
 
+def predict_in_batches(
+    predict_fn: Callable[[np.ndarray], np.ndarray],
+    X: np.ndarray,
+    batches: list[list[int]],
+) -> np.ndarray:
+    """Evaluate ``predict_fn`` over ``X`` in explicit micro-batches.
+
+    ``batches`` is the batch plan an online micro-batcher formed: each entry
+    lists the row indices served together (every index exactly once).  The
+    result is assembled back into input order, so dynamic batching is purely
+    a latency/throughput decision — predictions equal the serial
+    ``predict_fn(X)`` bit-for-bit, which the serving tests assert.
+    """
+    seen: set[int] = set()
+    for batch in batches:
+        if not batch:
+            raise ValueError("empty micro-batch in plan")
+        for idx in batch:
+            if not (0 <= idx < len(X)):
+                raise ValueError(f"batch index {idx} out of range")
+            if idx in seen:
+                raise ValueError(f"batch index {idx} served twice")
+            seen.add(idx)
+    if len(seen) != len(X):
+        raise ValueError("batch plan does not cover every input row")
+    out: Optional[np.ndarray] = None
+    for batch in batches:
+        idx = np.asarray(batch, dtype=np.intp)
+        pred = np.asarray(predict_fn(X[idx]))
+        if out is None:
+            out = np.empty((len(X),) + pred.shape[1:], dtype=pred.dtype)
+        out[idx] = pred
+    assert out is not None
+    return out
+
+
 def inference_scaleout_time(
     n_samples: int,
     per_sample_s: float,

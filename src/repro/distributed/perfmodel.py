@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.core.hardware import GpuSpec, NVIDIA_A100
+from repro.core.hardware import GpuSpec, NodeSpec, NVIDIA_A100
 from repro.simnet.costs import CollectiveCosts, CommCostModel
 from repro.simnet.link import LinkKind
 from repro.ml.models.resnet import ResNetShape, resnet50_config
@@ -168,4 +168,87 @@ class DistributedTrainingPerfModel:
             dataset_size=self.dataset_size,
             recipe=self.recipe,
             gce=gce,
+        )
+
+
+# ---------------------------------------------------------------------------
+# online inference (the serving subsystem's service-time source)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class InferencePerfModel:
+    """Batch service time of online inference on a concrete node spec.
+
+    The CM-train / ESB-infer pattern (Sec. II-A) needs a service-time model
+    grounded in the hardware catalogue rather than a constant: a micro-batch
+    of ``b`` samples costs a fixed host-side overhead (launch, packing, PCIe
+    staging) plus ``b`` forward passes at the sustained throughput of the
+    node's best device.  GPU nodes run the tensor-core path at a *small-
+    batch* efficiency — online batches are far below the saturating sizes
+    training enjoys — while CPU-only nodes (CM) fall back to the vector-FMA
+    peak.  The serving batcher and autoscaler consume this model directly.
+    """
+
+    model_shape: ResNetShape = field(default_factory=resnet50_config)
+    #: Sustained fraction of tensor-core peak at online batch sizes.
+    gpu_efficiency: float = 0.06
+    #: Sustained fraction of CPU vector peak for the fallback path.
+    cpu_efficiency: float = 0.30
+    #: Per-batch fixed cost: kernel launch, batch assembly, host<->device.
+    host_overhead_s: float = 3.0e-3
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.gpu_efficiency <= 1.0):
+            raise ValueError("gpu_efficiency must be in (0, 1]")
+        if not (0.0 < self.cpu_efficiency <= 1.0):
+            raise ValueError("cpu_efficiency must be in (0, 1]")
+        if self.host_overhead_s < 0:
+            raise ValueError("host_overhead_s must be non-negative")
+
+    def sustained_flops(self, node_spec: NodeSpec) -> float:
+        """Sustained inference FLOP/s one node of ``node_spec`` delivers."""
+        if node_spec.gpu_count > 0:
+            peak = node_spec.gpu_tensor_flops or node_spec.gpu_peak_flops
+            return peak * self.gpu_efficiency
+        return node_spec.cpu_peak_flops * self.cpu_efficiency
+
+    def sample_time(self, node_spec: NodeSpec) -> float:
+        """Marginal per-sample forward time on one node (no overhead)."""
+        return self.model_shape.flops_per_sample / self.sustained_flops(node_spec)
+
+    def batch_time(self, batch_samples: int, node_spec: NodeSpec,
+                   n_nodes: int = 1) -> float:
+        """Service time of one micro-batch of ``batch_samples`` samples."""
+        if batch_samples < 1:
+            raise ValueError("a batch needs at least one sample")
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        compute = batch_samples * self.sample_time(node_spec) / n_nodes
+        return self.host_overhead_s + compute
+
+    def throughput(self, batch_samples: int, node_spec: NodeSpec,
+                   n_nodes: int = 1) -> float:
+        """Samples/s one replica sustains at the given micro-batch size."""
+        return batch_samples / self.batch_time(batch_samples, node_spec,
+                                               n_nodes)
+
+    def as_phase(self, batch_samples: int, name: str = "serve-replica"):
+        """The equivalent :class:`~repro.core.jobs.JobPhase` for matchmaking.
+
+        Lets the serving replica pool reuse the batch scheduler's
+        placement scoring (:func:`repro.core.scheduler.rank_placements`)
+        with a work profile consistent with this service-time model.
+        """
+        from repro.core.jobs import JobPhase, WorkloadClass
+
+        return JobPhase(
+            name=name,
+            workload=WorkloadClass.ML_INFERENCE,
+            work_flops=self.model_shape.flops_per_sample * batch_samples,
+            nodes=1,
+            parallel_fraction=0.99,
+            uses_gpu=True,
+            uses_tensor_cores=True,
+            memory_GB_per_node=8.0,
+            efficiency=self.gpu_efficiency,
         )

@@ -27,6 +27,7 @@ from repro.resilience.faults import (
 )
 from repro.resilience.policy import CheckpointPolicy
 from repro.resilience.report import (
+    FailoverEvent,
     FailureEvent,
     RecoveryEvent,
     RequeueEvent,
@@ -41,6 +42,7 @@ __all__ = [
     "FaultPlanError",
     "FaultSpec",
     "CheckpointPolicy",
+    "FailoverEvent",
     "FailureEvent",
     "RecoveryEvent",
     "RequeueEvent",

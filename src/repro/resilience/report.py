@@ -40,6 +40,27 @@ class RequeueEvent:
 
 
 @dataclass(frozen=True)
+class FailoverEvent:
+    """An online-serving replica died and its in-flight work was drained.
+
+    The serving engine records one of these per replica crash: which
+    replica, where it lived, how many admitted requests were in flight at
+    the kill, and the backoff applied before they re-entered the queue
+    (driven by the shared :class:`~repro.resilience.retry.RetryPolicy`).
+    A correct drill ends with every drained request completed on a
+    surviving replica — requests lost would show up as an accounting gap
+    the serving tests refuse.
+    """
+
+    replica_id: int
+    module_key: str
+    node: int
+    time: float
+    requests_drained: int
+    backoff_s: float
+
+
+@dataclass(frozen=True)
 class RecoveryEvent:
     """A previously failed job started running again."""
 

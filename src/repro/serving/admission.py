@@ -1,0 +1,98 @@
+"""Admission control: token-bucket rate limiting and load shedding.
+
+A serving tier that admits everything during overload serves *nobody*
+within the SLO — queues grow without bound and every request misses its
+deadline.  Production platforms (the IBM Deep Learning Service gateway
+pattern) put two gates in front of the queue instead:
+
+* a **token bucket** caps the sustained admission rate while allowing
+  short bursts up to the bucket depth, and
+* a **queue-depth shed** drops requests once the backlog exceeds what the
+  replicas could clear within a latency budget anyway.
+
+Rejected requests are *not* failures of the serving engine — they are
+explicit, counted decisions (the goodput report keeps admitted and
+rejected strictly separate, and the failover drill guarantees completion
+only for requests that were actually admitted).
+
+Both gates are deterministic: the bucket refills lazily from elapsed
+simulated time, so the same trace always admits the same requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class TokenBucket:
+    """A classic token bucket on the simulated clock.
+
+    ``rate_per_s`` tokens accrue per simulated second up to ``burst``
+    capacity; each admitted request spends one token.  A non-positive
+    ``rate_per_s`` disables the gate (always admits).
+    """
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s > 0 and burst < 1:
+            raise ValueError("burst capacity must hold at least one token")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self._tokens = burst
+        self._last = 0.0
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token if available at simulated time ``now``."""
+        if self.rate_per_s <= 0:
+            return True
+        if now < self._last:
+            raise ValueError("token bucket clock ran backwards")
+        self._tokens = min(self.burst,
+                           self._tokens + (now - self._last) * self.rate_per_s)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The gate configuration in front of the request queue.
+
+    ``rate_limit_per_s <= 0`` disables rate limiting;
+    ``max_queue_depth <= 0`` disables shedding.
+    """
+
+    rate_limit_per_s: float = 0.0
+    burst: float = 50.0
+    max_queue_depth: int = 0
+
+    def bucket(self) -> TokenBucket:
+        return TokenBucket(self.rate_limit_per_s, self.burst)
+
+
+@dataclass
+class AdmissionDecision:
+    """Why a request was turned away (or not)."""
+
+    admitted: bool
+    reason: str = ""               # "" | "rate-limited" | "shed"
+
+
+class AdmissionController:
+    """Stateful admission gate the engine consults per arrival."""
+
+    def __init__(self, policy: AdmissionPolicy) -> None:
+        self.policy = policy
+        self._bucket = policy.bucket()
+        self.n_rate_limited = 0
+        self.n_shed = 0
+
+    def decide(self, now: float, queue_depth: int) -> AdmissionDecision:
+        if not self._bucket.try_take(now):
+            self.n_rate_limited += 1
+            return AdmissionDecision(False, "rate-limited")
+        if 0 < self.policy.max_queue_depth <= queue_depth:
+            self.n_shed += 1
+            return AdmissionDecision(False, "shed")
+        return AdmissionDecision(True)

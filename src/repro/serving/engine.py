@@ -1,0 +1,410 @@
+"""The online-serving engine: one discrete-event loop over all components.
+
+The request path, end to end on the deterministic DES engine::
+
+    trace ──> admission ──> cache ──> micro-batcher ──> replica pool
+    (seeded    (token bucket  (LRU +     (size/timeout     (CM/ESB/DAM via
+     arrivals)  + shedding)   coalesce)   triggers)         matchmaking)
+
+plus two control loops: the **autoscaler** ticks on a fixed interval and
+resizes the pool from queue depth and the recent latency tail, and the
+**failover** path consumes :class:`~repro.resilience.faults.FaultInjector`
+node crashes — a dead replica's in-flight batch is cancelled, its requests
+re-queued at the head after a :class:`~repro.resilience.retry.RetryPolicy`
+backoff, and a replacement replica is placed.  Admitted requests are never
+lost; late ones are counted as deadline misses, honestly.
+
+Everything is seeded and event-ordered, so two runs of the same config
+produce byte-identical reports — asserted by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.presets import small_msa_system
+from repro.core.system import MSASystem
+from repro.distributed.perfmodel import InferencePerfModel
+from repro.resilience.faults import FaultInjector, FaultKind, FaultSpec
+from repro.resilience.report import FailoverEvent
+from repro.resilience.retry import RetryPolicy
+from repro.serving.admission import AdmissionController, AdmissionPolicy
+from repro.serving.batcher import BatchPolicy, MicroBatcher
+from repro.serving.cache import ResultCache
+from repro.serving.metrics import ServingMetrics
+from repro.serving.replicas import (
+    Autoscaler,
+    AutoscalerConfig,
+    InflightBatch,
+    Replica,
+    ReplicaPool,
+)
+from repro.serving.request import Request, TraceConfig, generate_trace
+from repro.simnet.events import Simulator
+
+#: Backoff used when failing drained requests over to surviving replicas.
+#: Much shorter than the batch scheduler's default (serving budgets are
+#: sub-second), generous retry head-room so a drill can never exhaust it.
+SERVING_RETRY = RetryPolicy(max_retries=64, base_delay_s=0.02,
+                            backoff_factor=2.0, jitter=0.25,
+                            max_delay_s=5.0)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Everything one serving run needs (besides the system + faults)."""
+
+    trace: TraceConfig = field(default_factory=TraceConfig)
+    batch: BatchPolicy = field(default_factory=BatchPolicy)
+    admission: AdmissionPolicy = field(default_factory=AdmissionPolicy)
+    autoscaler: AutoscalerConfig = field(default_factory=AutoscalerConfig)
+    initial_replicas: int = 2
+    nodes_per_replica: int = 1
+    cache_capacity: int = 0            # 0 disables the result cache
+    cache_lookup_s: float = 2.0e-4
+    #: Lognormal sigma multiplying batch service times (0 = analytic model).
+    service_jitter: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.initial_replicas < 1:
+            raise ValueError("need at least one initial replica")
+        if self.cache_lookup_s < 0 or self.service_jitter < 0:
+            raise ValueError("cache_lookup_s/service_jitter must be >= 0")
+
+
+@dataclass
+class ServingReport:
+    """Outcome of one serving run — deterministic for a given config."""
+
+    config: ServingConfig
+    metrics: ServingMetrics
+    cache_hits: int
+    cache_misses: int
+    cache_coalesced: int
+    cache_hit_rate: float
+    failover_events: list[FailoverEvent]
+    scale_events: list
+    peak_replicas: int
+    final_replicas: int
+    module_replica_seconds: dict[str, float]
+    #: Batches actually computed: (replica id, request ids in batch order).
+    batch_log: list[tuple[int, tuple[int, ...]]]
+
+    @property
+    def p99(self) -> float:
+        return self.metrics.p99
+
+    @property
+    def goodput_per_s(self) -> float:
+        return self.metrics.goodput_per_s
+
+    def meets_slo(self, quantile: float = 99.0) -> bool:
+        return self.metrics.meets_slo(self.config.trace.slo_deadline_s,
+                                      quantile)
+
+    def to_text(self) -> str:
+        """The canonical metrics report — byte-identical across same-seed runs."""
+        m = self.metrics
+        t = self.config.trace
+        rows = [
+            f"serving report ({t.pattern.value}, "
+            f"{t.rate_per_s:g} req/s x {t.duration_s:g} s, "
+            f"SLO {t.slo_deadline_s * 1e3:g} ms, seed {t.seed})",
+            f"  offered          : {m.offered}",
+            f"  admitted         : {m.admitted} "
+            f"(rate-limited {m.rate_limited}, shed {m.shed})",
+            f"  completed        : {m.completed}",
+            f"  deadline misses  : {m.deadline_misses} "
+            f"({m.deadline_miss_rate:.4f})",
+            f"  goodput          : {m.goodput_per_s:.3f} req/s",
+        ]
+        if m.completed:
+            s = m.latency_summary()
+            rows += [
+                f"  latency p50      : {s.p50_s * 1e3:.3f} ms",
+                f"  latency p95      : {s.p95_s * 1e3:.3f} ms",
+                f"  latency p99      : {s.p99_s * 1e3:.3f} ms",
+                f"  latency max      : {s.max_s * 1e3:.3f} ms",
+            ]
+        rows += [
+            f"  batches          : {m.batches} "
+            f"(mean size {m.mean_batch_size:.2f})",
+            f"  cache            : {self.cache_hits} hit / "
+            f"{self.cache_coalesced} coalesced / {self.cache_misses} miss "
+            f"(hit rate {self.cache_hit_rate:.4f})",
+            f"  failovers        : {len(self.failover_events)} "
+            f"({m.requests_failed_over} requests drained, 0 lost)",
+            f"  scale events     : {len(self.scale_events)} "
+            f"(peak {self.peak_replicas} replicas)",
+        ]
+        for key in sorted(self.module_replica_seconds):
+            lifetime = self.module_replica_seconds[key]
+            busy = m.module_busy_s.get(key, 0.0)
+            util = busy / lifetime if lifetime > 0 else 0.0
+            rows.append(f"  replicas[{key:<6}] : {lifetime:10.2f} node-s, "
+                        f"util {util:6.1%}")
+        return "\n".join(rows)
+
+
+class ServingEngine:
+    """Drives one :class:`ServingConfig` through the DES to a report."""
+
+    def __init__(
+        self,
+        config: ServingConfig,
+        system: Optional[MSASystem] = None,
+        perf: Optional[InferencePerfModel] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.system = system if system is not None else small_msa_system()
+        self.perf = perf if perf is not None else InferencePerfModel()
+        self.sim = Simulator()
+        self.requests = generate_trace(config.trace)
+        self.batcher = MicroBatcher(config.batch)
+        self.admission = AdmissionController(config.admission)
+        self.cache = ResultCache(config.cache_capacity)
+        ref_batch = (config.batch.max_batch_requests
+                     * config.trace.samples_per_request)
+        self.pool = ReplicaPool(self.system, self.perf,
+                                nodes_per_replica=config.nodes_per_replica,
+                                reference_batch_samples=ref_batch)
+        self.autoscaler = Autoscaler(config.autoscaler)
+        self.metrics = ServingMetrics(duration_s=config.trace.duration_s)
+        self.retry = retry_policy if retry_policy is not None else \
+            RetryPolicy(max_retries=SERVING_RETRY.max_retries,
+                        base_delay_s=SERVING_RETRY.base_delay_s,
+                        backoff_factor=SERVING_RETRY.backoff_factor,
+                        jitter=SERVING_RETRY.jitter,
+                        max_delay_s=SERVING_RETRY.max_delay_s,
+                        seed=config.trace.seed)
+        self.failover_events: list[FailoverEvent] = []
+        self.batch_log: list[tuple[int, tuple[int, ...]]] = []
+        self.peak_replicas = 0
+        self._target_replicas = max(config.initial_replicas,
+                                    config.autoscaler.min_replicas
+                                    if config.autoscaler.enabled else 1)
+        #: req_id -> Request for coalesced waiters parked on the cache.
+        self._waiting: dict[int, Request] = {}
+        #: req_id -> failover retry count (drives the backoff schedule).
+        self._retries: dict[int, int] = {}
+        self._window: list[float] = []
+        self._jitter_rng = np.random.default_rng(config.trace.seed + 0x5EED)
+        self._ran = False
+        self.injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.on(FaultKind.NODE_CRASH, self._on_crash)
+            fault_injector.arm(self.sim)
+
+    # -- run ------------------------------------------------------------------
+    def run(self) -> ServingReport:
+        if self._ran:
+            raise RuntimeError("a ServingEngine instance runs exactly once")
+        self._ran = True
+        for req in self.requests:
+            evt = self.sim.timeout(req.arrival_s, value=req,
+                                   name=f"arrive-{req.req_id}")
+            evt.add_callback(self._on_arrival)
+        self._ensure_capacity()
+        if self.pool.n_up == 0:
+            raise RuntimeError("no module can host even one replica")
+        if self.config.autoscaler.enabled:
+            self.sim.timeout(self.config.autoscaler.interval_s,
+                             name="autoscale-tick"
+                             ).add_callback(self._on_tick)
+        self.sim.run()
+        self.metrics.check_conservation()
+        final = self.pool.n_up
+        for replica in list(self.pool.replicas.values()):
+            self.pool.retire(replica, self.sim.now)
+        return ServingReport(
+            config=self.config,
+            metrics=self.metrics,
+            cache_hits=self.cache.hits,
+            cache_misses=self.cache.misses,
+            cache_coalesced=self.cache.coalesced,
+            cache_hit_rate=self.cache.hit_rate,
+            failover_events=list(self.failover_events),
+            scale_events=list(self.autoscaler.events),
+            peak_replicas=self.peak_replicas,
+            final_replicas=final,
+            module_replica_seconds=dict(self.pool.module_lifetime_s),
+            batch_log=list(self.batch_log),
+        )
+
+    # -- arrival path ---------------------------------------------------------
+    def _on_arrival(self, evt) -> None:
+        req: Request = evt.value
+        now = self.sim.now
+        decision = self.admission.decide(now, self.batcher.depth)
+        if not decision.admitted:
+            self.metrics.record_rejection(decision.reason)
+            return
+        self.metrics.record_admission()
+        outcome = self.cache.lookup(req.key, req.req_id)
+        if outcome == "hit":
+            done = self.sim.timeout(self.config.cache_lookup_s, value=req,
+                                    name=f"cache-hit-{req.req_id}")
+            done.add_callback(self._on_cache_hit)
+        elif outcome == "coalesce":
+            self._waiting[req.req_id] = req
+        else:
+            self.batcher.enqueue(req, now)
+            self._kick()
+
+    def _on_cache_hit(self, evt) -> None:
+        self._complete(evt.value)
+
+    def _complete(self, req: Request) -> None:
+        latency = self.metrics.record_completion(req, self.sim.now)
+        self._window.append(latency)
+
+    # -- dispatch -------------------------------------------------------------
+    def _kick(self) -> None:
+        now = self.sim.now
+        while True:
+            idle = self.pool.idle_replicas()
+            if not idle:
+                break
+            model = self.batcher.ready_model(now)
+            if model is None:
+                break
+            self._start_batch(idle[0], self.batcher.take(model))
+        deadline = self.batcher.next_deadline()
+        if deadline is not None and deadline > now + 1e-12:
+            timer = self.sim.timeout(deadline - now, name="batch-timer")
+            timer.add_callback(lambda _evt: self._kick())
+
+    def _start_batch(self, replica: Replica, requests: list[Request]) -> None:
+        now = self.sim.now
+        samples = sum(r.n_samples for r in requests)
+        service = self.pool.batch_time(replica, samples)
+        if self.config.service_jitter > 0:
+            service *= float(self._jitter_rng.lognormal(
+                0.0, self.config.service_jitter))
+        batch = InflightBatch(requests=requests, start=now)
+        replica.inflight = batch
+        done = self.sim.timeout(service, value=replica,
+                                name=f"batch-done-r{replica.rid}")
+        done.add_callback(self._on_batch_done)
+        batch.done_evt = done
+
+    def _on_batch_done(self, evt) -> None:
+        replica: Replica = evt.value
+        now = self.sim.now
+        batch = replica.inflight
+        assert batch is not None, "batch completion for an idle replica"
+        replica.inflight = None
+        replica.busy_s += now - batch.start
+        self.metrics.record_batch(len(batch.requests), replica.module_key,
+                                  (now - batch.start) * len(replica.nodes))
+        self.batch_log.append(
+            (replica.rid, tuple(r.req_id for r in batch.requests)))
+        for req in batch.requests:
+            self._complete(req)
+            for waiter_id in self.cache.complete(req.key, now):
+                self._complete(self._waiting.pop(waiter_id))
+        self._kick()
+
+    # -- failover -------------------------------------------------------------
+    def _on_crash(self, spec: FaultSpec) -> None:
+        modules = self.system.compute_modules()
+        module = modules.get(spec.module)
+        if module is None or not (0 <= spec.node < module.n_nodes):
+            return
+        if spec.node in module.down_nodes:
+            return  # already down; first crash's repair is pending
+        now = self.sim.now
+        replica = self.pool.find(spec.module, spec.node)
+        module.mark_down(spec.node)
+        repair = self.sim.timeout(spec.duration,
+                                  value=(spec.module, spec.node),
+                                  name=f"repair-{spec.module}-{spec.node}")
+        repair.add_callback(self._on_repair)
+        if replica is None:
+            return  # the node hosted no replica — capacity dip only
+        drained = self.pool.crash(replica, spec.node, now)
+        backoff = 0.0
+        if drained:
+            attempt = 1 + max(self._retries.get(r.req_id, 0)
+                              for r in drained)
+            for r in drained:
+                self._retries[r.req_id] = attempt
+            backoff = self.retry.delay(min(attempt,
+                                           self.retry.max_retries),
+                                       key=f"replica-{replica.rid}")
+            requeue = self.sim.timeout(backoff, value=drained,
+                                       name=f"failover-r{replica.rid}")
+            requeue.add_callback(self._on_failover_requeue)
+        self.metrics.failovers += 1
+        self.metrics.requests_failed_over += len(drained)
+        self.failover_events.append(FailoverEvent(
+            replica_id=replica.rid, module_key=spec.module, node=spec.node,
+            time=now, requests_drained=len(drained), backoff_s=backoff))
+        self._ensure_capacity()
+        self._kick()
+
+    def _on_failover_requeue(self, evt) -> None:
+        self.batcher.requeue_front(evt.value)
+        self._kick()
+
+    def _on_repair(self, evt) -> None:
+        key, node = evt.value
+        self.system.module(key).mark_up(node)
+        self._ensure_capacity()
+        self._kick()
+
+    # -- scaling --------------------------------------------------------------
+    def _ensure_capacity(self) -> None:
+        """Place replicas until the pool matches the current target."""
+        while self.pool.n_up < self._target_replicas:
+            if self.pool.place(self.sim.now) is None:
+                break  # nowhere to place right now; repair/retire will retry
+        self.peak_replicas = max(self.peak_replicas, self.pool.n_up)
+
+    def _on_tick(self, evt) -> None:
+        now = self.sim.now
+        cfg = self.config.autoscaler
+        delta, reason = self.autoscaler.decide(
+            now, self.pool.n_up, self.batcher.depth, self._window,
+            self.config.trace.slo_deadline_s)
+        self._window = []
+        if delta > 0:
+            self._target_replicas = min(cfg.max_replicas,
+                                        max(self._target_replicas,
+                                            self.pool.n_up) + delta)
+            before = self.pool.n_up
+            self._ensure_capacity()
+            if self.pool.n_up > before:
+                self.autoscaler.note(now, self.pool.n_up - before,
+                                     self.pool.n_up, reason)
+        elif delta < 0:
+            victim = self.pool.retirement_candidate()
+            if victim is not None:
+                self.pool.retire(victim, now)
+                self._target_replicas = max(cfg.min_replicas,
+                                            self.pool.n_up)
+                self.autoscaler.note(now, -1, self.pool.n_up, reason)
+        self._kick()
+        drained = (self.metrics.completed == self.metrics.admitted)
+        past_horizon = now >= self.config.trace.duration_s
+        if not (past_horizon and drained):
+            self.sim.timeout(cfg.interval_s, name="autoscale-tick"
+                             ).add_callback(self._on_tick)
+
+
+def simulate_serving(
+    config: ServingConfig,
+    system: Optional[MSASystem] = None,
+    perf: Optional[InferencePerfModel] = None,
+    fault_injector: Optional[FaultInjector] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+) -> ServingReport:
+    """Convenience wrapper: build an engine, run it, return the report."""
+    return ServingEngine(config, system=system, perf=perf,
+                         fault_injector=fault_injector,
+                         retry_policy=retry_policy).run()

@@ -1,0 +1,140 @@
+"""SLO accounting: goodput, deadline misses, latency tails.
+
+The provisioning question the paper's real-time workload poses ("does this
+configuration hold p99 under the deadline at this rate?") is answered
+here.  All percentile math comes from :mod:`repro.core.stats` — the same
+implementation the Fig. 3 A streaming model uses — so a "p99" from the
+serving engine and one from the streaming bench are always the same
+computation.
+
+``ServingMetrics`` is the engine's mutable ledger; it renders into the
+final report.  Every counter obeys one conservation law the tests assert:
+
+    offered = admitted + rate_limited + shed
+    admitted = completed            (after drain — failover loses nothing)
+
+and ``goodput`` counts only admitted requests completed *within* their
+deadline: requests the system finished late are throughput, not goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.stats import LatencySummary, percentile, summarize_latencies
+from repro.serving.request import Request
+
+
+@dataclass
+class ServingMetrics:
+    """The engine's running ledger of one serving run."""
+
+    duration_s: float
+
+    # arrival accounting
+    offered: int = 0
+    admitted: int = 0
+    rate_limited: int = 0
+    shed: int = 0
+
+    # completion accounting
+    completed: int = 0
+    deadline_misses: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+
+    # batching
+    batches: int = 0
+    batched_requests: int = 0
+
+    # failover
+    failovers: int = 0
+    requests_failed_over: int = 0
+
+    # per-module busy node-seconds (batch compute attributed to its module)
+    module_busy_s: dict[str, float] = field(default_factory=dict)
+
+    # -- recording -----------------------------------------------------------
+    def record_rejection(self, reason: str) -> None:
+        self.offered += 1
+        if reason == "rate-limited":
+            self.rate_limited += 1
+        elif reason == "shed":
+            self.shed += 1
+        else:
+            raise ValueError(f"unknown rejection reason {reason!r}")
+
+    def record_admission(self) -> None:
+        self.offered += 1
+        self.admitted += 1
+
+    def record_completion(self, req: Request, now: float) -> float:
+        """Complete one admitted request; returns its latency."""
+        latency = now - req.arrival_s
+        self.completed += 1
+        self.latencies_s.append(latency)
+        if now > req.deadline_s + 1e-12:
+            self.deadline_misses += 1
+        return latency
+
+    def record_batch(self, n_requests: int, module_key: str,
+                     busy_s: float) -> None:
+        self.batches += 1
+        self.batched_requests += n_requests
+        self.module_busy_s[module_key] = (
+            self.module_busy_s.get(module_key, 0.0) + busy_s)
+
+    # -- headline numbers ----------------------------------------------------
+    @property
+    def on_time(self) -> int:
+        return self.completed - self.deadline_misses
+
+    @property
+    def goodput_per_s(self) -> float:
+        """On-time completions per offered second."""
+        return self.on_time / self.duration_s
+
+    @property
+    def admission_rate(self) -> float:
+        return self.admitted / self.offered if self.offered else 1.0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        return self.deadline_misses / self.completed if self.completed else 0.0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.latencies_s, q)
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def latency_summary(self) -> LatencySummary:
+        return summarize_latencies(self.latencies_s)
+
+    def meets_slo(self, deadline_budget_s: float,
+                  quantile: float = 99.0) -> bool:
+        """Does the latency quantile sit within the per-request budget?"""
+        return self.percentile(quantile) <= deadline_budget_s
+
+    def check_conservation(self) -> None:
+        """Assert the accounting identities; raises on a leak."""
+        if self.offered != self.admitted + self.rate_limited + self.shed:
+            raise AssertionError(
+                f"arrival accounting leak: offered={self.offered} != "
+                f"{self.admitted}+{self.rate_limited}+{self.shed}")
+        if self.completed != self.admitted:
+            raise AssertionError(
+                f"completion leak: admitted={self.admitted} but "
+                f"completed={self.completed} — requests were lost")
