@@ -9,6 +9,8 @@ Commands mirror the operator tasks the examples walk through:
 * ``submit`` — compile an ``#SBATCH``/``#PHASE`` job script and schedule it,
 * ``serve`` — run an online-serving scenario (arrivals, SLO, autoscaling,
   optional fault plan) and print the serving report,
+* ``trace`` — run a canonical traced scenario under the unified telemetry
+  layer and write Chrome-trace / Prometheus / summary artifacts,
 * ``experiments`` — list every experiment and the bench that regenerates it.
 """
 
@@ -47,6 +49,8 @@ EXPERIMENTS = [
      "benchmarks/bench_realtime_stream.py"),
     ("E14", "online serving (SLO capacity, autoscaling, failover)",
      "benchmarks/bench_serving_slo.py"),
+    ("E15", "unified telemetry traces (chrome://tracing / Perfetto)",
+     "benchmarks/bench_telemetry_overhead.py"),
     ("ABL", "design-choice ablations",
      "benchmarks/bench_ablations.py"),
 ]
@@ -161,6 +165,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if report.meets_slo() else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.telemetry.scenarios import SCENARIOS
+
+    artifacts = SCENARIOS[args.scenario](seed=args.seed, quick=args.quick)
+    out_dir = args.out or os.path.join(
+        "traces", f"{args.scenario}-seed{args.seed}")
+    os.makedirs(out_dir, exist_ok=True)
+    for filename, body in (("trace.json", artifacts.trace_json),
+                           ("metrics.prom", artifacts.prometheus),
+                           ("summary.txt", artifacts.summary)):
+        with open(os.path.join(out_dir, filename), "w") as fh:
+            fh.write(body)
+            if not body.endswith("\n"):
+                fh.write("\n")
+    print(artifacts.summary)
+    print(f"\nartifacts written to {out_dir}/ "
+          "(trace.json, metrics.prom, summary.txt)")
+    if not artifacts.ok:
+        print("INVARIANT VIOLATIONS:", file=sys.stderr)
+        for name, labels, value in artifacts.invariant_violations:
+            print(f"  {name}{dict(labels)} = {value}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[1]) for e in EXPERIMENTS)
     for exp_id, title, bench in EXPERIMENTS:
@@ -225,6 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--faults", default="",
                    help="fault plan, e.g. seed=7,crash=esb:2,repair=10")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("trace", help="run a traced scenario, export artifacts")
+    p.add_argument("scenario", choices=("train", "serve"),
+                   help="train: faulted scheduler + elastic training; "
+                        "serve: online serving with a crash + autoscaling")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workload (CI smoke)")
+    p.add_argument("--out", default="",
+                   help="output directory (default traces/<scenario>-seed<N>)")
+    p.set_defaults(fn=cmd_trace)
 
     sub.add_parser("experiments", help="list experiments and benches"
                    ).set_defaults(fn=cmd_experiments)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import Optional
 
+from repro import telemetry
 from repro.simnet.events import Event, Simulator
 from repro.core.energy import EnergyAccountant
 from repro.core.jobs import CoAllocatedPhase, Job, JobPhase, JobStatus, phase_runtime
@@ -123,6 +124,23 @@ class ScheduleReport:
             rows.append(self.resilience.summary())
         return "\n".join(rows)
 
+    def publish_metrics(self, registry: Optional[
+            "telemetry.MetricsRegistry"] = None) -> None:
+        """Publish the report's headline numbers as registry gauges."""
+        reg = registry if registry is not None else telemetry.get_registry()
+        reg.gauge("scheduler_jobs_completed").set(len(self.completion_times))
+        reg.gauge("scheduler_jobs_failed").set(len(self.failed_jobs))
+        reg.gauge("scheduler_makespan_seconds").set(self.makespan)
+        reg.gauge("scheduler_mean_wait_seconds").set(self.mean_wait)
+        reg.gauge("scheduler_energy_joules", kind="busy").set(
+            self.energy_busy_joules)
+        reg.gauge("scheduler_energy_joules", kind="idle").set(
+            self.energy_idle_joules)
+        for key, util in self.module_utilisation.items():
+            reg.gauge("scheduler_module_utilisation", module=key).set(util)
+        if self.resilience is not None:
+            self.resilience.publish_metrics(reg)
+
 
 @dataclass
 class _JobState:
@@ -178,6 +196,7 @@ class MsaScheduler:
                 raise ValueError("patience_factor must be >= 1")
             self.PATIENCE_FACTOR = patience_factor
         self.sim = Simulator()
+        self.tracer = telemetry.get_tracer()
         self.energy = EnergyAccountant()
         self._ready: list[_JobState] = []
         self._allocations: list[Allocation] = []
@@ -229,6 +248,9 @@ class MsaScheduler:
 
     # -- event handlers --------------------------------------------------------
     def _on_arrival(self, evt) -> None:
+        self.tracer.instant("submit", "scheduler", self.sim.now,
+                            track="scheduler", lane="queue",
+                            job=evt.value.name)
         self._ready.append(_JobState(job=evt.value))
         self._dispatch()
 
@@ -237,6 +259,7 @@ class MsaScheduler:
         if record in self._running:
             self._running.remove(record)
         state = record.state
+        self._trace_phase(record, killed=False)
         for module_key, nodes in record.placements:
             self.system.module(module_key).release(list(nodes))
         state.prev_module = record.placements[-1][0]
@@ -248,6 +271,21 @@ class MsaScheduler:
             # Running jobs continue ahead of newly queued ones.
             self._ready.insert(0, state)
         self._dispatch()
+
+    def _trace_phase(self, record: _RunningRecord, killed: bool) -> None:
+        """One span per placement, on the job's lane, ending now."""
+        if not self.tracer.enabled:
+            return
+        state = record.state
+        now = self.sim.now
+        for idx, (module_key, nodes) in zip(record.alloc_indices,
+                                            record.placements):
+            alloc = self._allocations[idx]
+            self.tracer.record(
+                f"{alloc.phase_name}", "scheduler", record.start,
+                now - record.start, track="scheduler", lane=state.job.name,
+                module=module_key, n_nodes=len(nodes),
+                phase_index=alloc.phase_index, killed=killed)
 
     def _note_started(self, state: _JobState) -> None:
         """Status + recovery bookkeeping when a phase actually starts."""
@@ -304,6 +342,7 @@ class MsaScheduler:
         record.done_evt.cancel()
         self._running.remove(record)
         state = record.state
+        self._trace_phase(record, killed=True)
         for key, nodes in record.placements:
             survivors = [n for n in nodes
                          if not (key == spec.module and n == spec.node)]
@@ -339,6 +378,10 @@ class MsaScheduler:
                     job_name=state.job.name, attempt=state.attempts,
                     backoff_s=delay, time=now,
                 ))
+            self.tracer.instant("requeue", "scheduler", now,
+                                track="scheduler", lane="queue",
+                                job=state.job.name, attempt=state.attempts,
+                                backoff_s=delay)
             requeue = self.sim.timeout(delay, value=state,
                                        name=f"requeue-{state.job.name}")
             requeue.add_callback(self._on_requeue)
@@ -515,6 +558,9 @@ class MsaScheduler:
             state.first_start = start
             self._waits[state.job.name] = start - state.job.arrival_time
         self._note_started(state)
+        self.tracer.instant("place", "scheduler", start, track="scheduler",
+                            lane="queue", job=state.job.name,
+                            modules=",".join(sorted({k for k, *_ in plan})))
         for key, module, n, _, component in plan:
             nodes = tuple(module.allocate(n, avoid=self._suspect.get(key)))
             placements.append((key, nodes))
@@ -579,6 +625,10 @@ class MsaScheduler:
                     state.first_start = start
                     self._waits[state.job.name] = start - state.job.arrival_time
                 self._note_started(state)
+                self.tracer.instant("place", "scheduler", start,
+                                    track="scheduler", lane="queue",
+                                    job=state.job.name, modules=key,
+                                    n_nodes=n)
                 alloc = Allocation(
                     job_name=state.job.name,
                     phase_index=state.next_phase,
@@ -639,7 +689,7 @@ class MsaScheduler:
             utilisation[key] = busy / total if total > 0 else 0.0
             idle_node_seconds = max(total - busy, 0.0)
             self.energy.charge_idle(key, module.node_spec, idle_node_seconds)
-        return ScheduleReport(
+        report = ScheduleReport(
             system_name=self.system.name,
             allocations=list(self._allocations),
             completion_times=dict(self._completions),
@@ -651,6 +701,9 @@ class MsaScheduler:
             job_status=dict(self._status),
             resilience=self.resilience,
         )
+        if telemetry.get_registry().enabled:
+            report.publish_metrics(telemetry.get_registry())
+        return report
 
 
 # ---------------------------------------------------------------------------

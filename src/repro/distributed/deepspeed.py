@@ -20,6 +20,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.mpi.comm import Communicator, ReduceOp
 from repro.ml.layers import Parameter
 
@@ -98,6 +99,12 @@ class ZeroStage1Optimizer:
 
     def step(self) -> None:
         """Average gradients, update the local shard, allgather weights."""
+        with telemetry.get_tracer().span(
+                "zero1-step", "train", lambda: self.comm.sim_time,
+                track="train", lane=self.comm._lane()):
+            self._do_step()
+
+    def _do_step(self) -> None:
         self._step_count += 1
         grad = self._fused_grad()
         if self.comm.size > 1:
@@ -150,6 +157,12 @@ class ZeroStage2Optimizer(ZeroStage1Optimizer):
         self.peak_grad_shard_bytes = 0
 
     def step(self) -> None:
+        with telemetry.get_tracer().span(
+                "zero2-step", "train", lambda: self.comm.sim_time,
+                track="train", lane=self.comm._lane()):
+            self._do_step()
+
+    def _do_step(self) -> None:
         self._step_count += 1
         grad = self._fused_grad()
         if self.comm.size > 1:

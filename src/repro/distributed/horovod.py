@@ -23,6 +23,7 @@ from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.mpi.comm import Communicator, ReduceOp
 from repro.mpi import collectives
 from repro.ml.layers import Module, Parameter
@@ -119,6 +120,8 @@ class DistributedOptimizer:
         """Fused-buffer allreduce of gradients (SUM, then divide)."""
         if self.comm.size == 1:
             return
+        tracer = telemetry.get_tracer()
+        start = self.comm.sim_time if tracer.enabled else 0.0
         fused = _flatten_grads(self.params)
         wire = self.compression.compress(fused)
         if wire.size >= self.comm.size:
@@ -131,8 +134,15 @@ class DistributedOptimizer:
             )
         if self.average:
             reduced = reduced / self.comm.size
-        self.bytes_communicated += self.compression.wire_bytes(fused)
+        nbytes = self.compression.wire_bytes(fused)
+        self.bytes_communicated += nbytes
         self.allreduce_calls += 1
+        if tracer.enabled:
+            tracer.record("grad-allreduce", "comm", start,
+                          self.comm.sim_time - start, track="train",
+                          lane=self.comm._lane(), nbytes=nbytes)
+            telemetry.get_registry().counter(
+                "collective_bytes", op="grad-allreduce").inc(nbytes)
         _unflatten_into_grads(self.params, reduced)
 
     def step(self) -> None:
@@ -253,6 +263,7 @@ def run_elastic_training(
     n_samples = len(X)
 
     def _rank_main(comm: Communicator) -> Optional[dict]:
+        tracer = telemetry.get_tracer()
         model = model_factory()
         broadcast_parameters(model, comm)
         active = comm
@@ -263,10 +274,17 @@ def run_elastic_training(
         ckpt_steps: set[int] = set()
         consumed_kills: set[int] = set()
 
-        if checkpoint_manager is not None and active.rank == 0:
-            checkpoint_manager.save(
-                name, step=0, state=model.state_dict(),
+        def _save_checkpoint(step: int) -> None:
+            t_write = checkpoint_manager.save(
+                name, step=step, state=model.state_dict(),
                 replicate=checkpoint_policy.replicate)
+            tracer.record("checkpoint-save", "storage", active.sim_time,
+                          t_write, track="storage", lane="checkpoint",
+                          step=step,
+                          replicate=checkpoint_policy.replicate)
+
+        if checkpoint_manager is not None and active.rank == 0:
+            _save_checkpoint(0)
         if checkpoint_manager is not None:
             ckpt_steps.add(0)
 
@@ -284,6 +302,11 @@ def run_elastic_training(
                         raise RuntimeError(
                             f"fault plan kills all {active.size} live ranks "
                             f"at step {step}")
+                    if active.rank == 0:
+                        tracer.instant(
+                            "rank-kill", "fault", active.sim_time,
+                            track="faults", lane="rank-kills", step=step,
+                            ranks=",".join(str(r) for r in sorted(dead)))
                     shrunk = active.shrink(dead_local)
                     if shrunk is None:
                         return None      # this rank died here
@@ -293,6 +316,11 @@ def run_elastic_training(
                             state, ck_step, _t, target = (
                                 checkpoint_manager.restore_with_fallback(
                                     name, checkpoint_policy))
+                            tracer.record(
+                                "checkpoint-restore", "storage",
+                                active.sim_time, _t, track="storage",
+                                lane="checkpoint", step=ck_step,
+                                target=target)
                             payload = (state, ck_step, target)
                         else:
                             payload = None
@@ -303,6 +331,12 @@ def run_elastic_training(
                         # No checkpoints: survivors carry on from current
                         # weights, losing nothing but the dead ranks.
                         ck_step, target = step, "none"
+                    if active.rank == 0:
+                        tracer.instant(
+                            "recovered", "fault", active.sim_time,
+                            track="faults", lane="rank-kills",
+                            restored_step=ck_step, restored_from=target,
+                            world_size=active.size)
                     recoveries.append(ElasticRecovery(
                         failed_step=step,
                         dead_world_ranks=tuple(sorted(dead)),
@@ -315,24 +349,25 @@ def run_elastic_training(
                         SGD(model.parameters(), lr=lr), active, average=False)
                 continue
 
-            idx = global_batch_indices(n_samples, batch_size, step, seed)
-            shard = idx[active.rank::active.size]
-            logits = model(Tensor(X[shard]))
-            local = compute_loss(logits, Y[shard])
-            # Scale so the allreduce SUM equals the global-batch mean.
-            scaled = local * (len(shard) / batch_size)
-            opt.zero_grad()
-            scaled.backward()
-            opt.step()
-            losses.append(float(
-                active.allreduce(scaled.item(), op=ReduceOp.SUM)))
+            with tracer.span("step", "train", lambda: active.sim_time,
+                             track="train", lane=active._lane(), step=step):
+                idx = global_batch_indices(n_samples, batch_size, step, seed)
+                shard = idx[active.rank::active.size]
+                logits = model(Tensor(X[shard]))
+                local = compute_loss(logits, Y[shard])
+                # Scale so the allreduce SUM equals the global-batch mean.
+                scaled = local * (len(shard) / batch_size)
+                opt.zero_grad()
+                scaled.backward()
+                opt.step()
+                losses.append(float(
+                    active.allreduce(scaled.item(), op=ReduceOp.SUM)))
+            telemetry.get_registry().counter("train_steps_total").inc()
             step += 1
             if (checkpoint_manager is not None
                     and checkpoint_policy.should_checkpoint(step)):
                 if active.rank == 0:
-                    checkpoint_manager.save(
-                        name, step=step, state=model.state_dict(),
-                        replicate=checkpoint_policy.replicate)
+                    _save_checkpoint(step)
                 ckpt_steps.add(step)
 
         return {

@@ -6,6 +6,15 @@ instrument behind tuning work like the paper's [20].  This module records
 the same kind of events against the simulated clock and exports the Chrome
 trace-event JSON structure, so a training run's comms/compute interleaving
 can be inspected (or asserted on, as the tests do).
+
+Deprecation note: this module predates the unified telemetry layer
+(:mod:`repro.telemetry`) and is kept as a thin compatibility shim — the
+per-event Chrome serialisation now delegates to
+:func:`repro.telemetry.export.chrome_complete_event`, the single
+implementation of the trace-event format.  New instrumentation should
+record spans on the process-wide :func:`repro.telemetry.get_tracer`
+instead of building per-rank ``Timeline`` objects; ``repro trace``
+exports every subsystem into one trace file.
 """
 
 from __future__ import annotations
@@ -15,6 +24,10 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.mpi.comm import Communicator
+from repro.telemetry.export import chrome_complete_event
+
+__all__ = ["Timeline", "TimelineEvent", "merge_timelines",
+           "chrome_complete_event"]
 
 
 @dataclass(frozen=True)
@@ -27,17 +40,14 @@ class TimelineEvent:
     nbytes: int = 0
 
     def to_chrome(self) -> dict[str, Any]:
-        """One Chrome trace-event ('X' complete event, µs granularity)."""
-        return {
-            "name": self.name,
-            "cat": self.category,
-            "ph": "X",
-            "pid": 0,
-            "tid": self.rank,
-            "ts": self.start_s * 1e6,
-            "dur": self.duration_s * 1e6,
-            "args": {"nbytes": self.nbytes},
-        }
+        """One Chrome trace-event ('X' complete event, µs granularity).
+
+        Historical shape preserved: pid 0, tid = rank, ``nbytes`` in args.
+        """
+        return chrome_complete_event(
+            self.name, self.category, pid=0, tid=self.rank,
+            start_s=self.start_s, duration_s=self.duration_s,
+            args={"nbytes": self.nbytes})
 
 
 class Timeline:

@@ -17,10 +17,12 @@ simulated timeline alongside its real numerical results.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.simnet.costs import CommCostModel
 from repro.simnet.link import LinkKind
 from repro.mpi.transport import (
@@ -152,8 +154,44 @@ class Communicator:
         """Charge modelled local computation to the simulated clock."""
         if seconds < 0:
             raise ValueError("compute time must be non-negative")
+        tracer = telemetry.get_tracer()
+        if tracer.enabled:
+            tracer.record("compute", "compute", self.state.sim_time, seconds,
+                          track="mpi", lane=self._lane())
         self.state.advance(seconds)
         self.state.compute_time += seconds
+
+    # -- telemetry ------------------------------------------------------------
+    def _lane(self) -> str:
+        """This rank's trace lane, keyed by *world* rank so sub-communicator
+        traffic lands on the same timeline row as the rank's other work."""
+        return f"rank{self._world(self.rank):03d}"
+
+    @contextmanager
+    def _traced(self, op: str, obj: Any = None):
+        """Span + byte/call counters around one communication operation.
+
+        Only the *public* entry points are traced — the point-to-point
+        messages a collective algorithm issues internally go through
+        ``_send_raw``/``_recv_raw`` and are charged to the enclosing span,
+        so bytes are never double counted.
+        """
+        tracer = telemetry.get_tracer()
+        if not tracer.enabled:
+            yield
+            return
+        nbytes = payload_nbytes(obj) if obj is not None else 0
+        start = self.state.sim_time
+        try:
+            yield
+        finally:
+            tracer.record(op, "comm", start, self.state.sim_time - start,
+                          track="mpi", lane=self._lane(), nbytes=nbytes,
+                          comm_size=self.size)
+            registry = telemetry.get_registry()
+            registry.counter("collective_calls_total", op=op).inc()
+            if nbytes:
+                registry.counter("collective_bytes", op=op).inc(nbytes)
 
     # -- internal point-to-point --------------------------------------------
     def _world(self, grp_rank: int) -> int:
@@ -199,7 +237,8 @@ class Communicator:
     # -- lowercase object API -------------------------------------------------
     def send(self, obj: Any, dest: int, tag: int = 0) -> None:
         self._check_user_tag(tag)
-        self._send_raw(dest, obj, tag)
+        with self._traced("send", obj):
+            self._send_raw(dest, obj, tag)
 
     def isend(self, obj: Any, dest: int, tag: int = 0) -> Request:
         self.send(obj, dest, tag)
@@ -208,7 +247,8 @@ class Communicator:
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
         if tag != ANY_TAG:
             self._check_user_tag(tag)
-        return self._recv_raw(source=source, tag=tag).payload
+        with self._traced("recv"):
+            return self._recv_raw(source=source, tag=tag).payload
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> "RecvRequest":
         """Non-blocking receive; complete it with ``wait()`` or ``test()``."""
@@ -248,93 +288,109 @@ class Communicator:
     def barrier(self) -> None:
         from repro.mpi import collectives
 
-        collectives.dissemination_barrier(self, self._next_coll_tag())
+        with self._traced("barrier"):
+            collectives.dissemination_barrier(self, self._next_coll_tag())
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         from repro.mpi import collectives
 
-        return collectives.binomial_bcast(self, obj, root, self._next_coll_tag())
+        with self._traced("bcast", obj):
+            return collectives.binomial_bcast(self, obj, root,
+                                              self._next_coll_tag())
 
     def scatter(self, objs: Optional[Sequence[Any]], root: int = 0) -> Any:
         tag = self._next_coll_tag()
-        if self.rank == root:
-            if objs is None or len(objs) != self.size:
-                raise ValueError("root must pass one object per rank")
-            for dst in range(self.size):
-                if dst != root:
-                    self._send_raw(dst, objs[dst], tag)
-            return objs[root]
-        return self._recv_raw(source=root, tag=tag).payload
+        with self._traced("scatter", objs):
+            if self.rank == root:
+                if objs is None or len(objs) != self.size:
+                    raise ValueError("root must pass one object per rank")
+                for dst in range(self.size):
+                    if dst != root:
+                        self._send_raw(dst, objs[dst], tag)
+                return objs[root]
+            return self._recv_raw(source=root, tag=tag).payload
 
     def gather(self, obj: Any, root: int = 0) -> Optional[list]:
         tag = self._next_coll_tag()
-        if self.rank == root:
-            out: list[Any] = [None] * self.size
-            out[root] = obj
-            for _ in range(self.size - 1):
-                msg = self._recv_raw(source=ANY_SOURCE, tag=tag)
-                out[msg.source] = msg.payload
-            return out
-        self._send_raw(root, obj, tag)
-        return None
+        with self._traced("gather", obj):
+            if self.rank == root:
+                out: list[Any] = [None] * self.size
+                out[root] = obj
+                for _ in range(self.size - 1):
+                    msg = self._recv_raw(source=ANY_SOURCE, tag=tag)
+                    out[msg.source] = msg.payload
+                return out
+            self._send_raw(root, obj, tag)
+            return None
 
     def allgather(self, obj: Any) -> list:
         from repro.mpi import collectives
 
-        return collectives.ring_allgather(self, obj, self._next_coll_tag())
+        with self._traced("allgather", obj):
+            return collectives.ring_allgather(self, obj,
+                                              self._next_coll_tag())
 
     def alltoall(self, objs: Sequence[Any]) -> list:
         if len(objs) != self.size:
             raise ValueError("alltoall needs one object per rank")
         tag = self._next_coll_tag()
-        out: list[Any] = [None] * self.size
-        out[self.rank] = objs[self.rank]
-        # Rotating pairwise schedule: step k sends to rank+k, receives from
-        # rank-k — deadlock-free because sends are buffered.
-        for step in range(1, self.size):
-            send_to = (self.rank + step) % self.size
-            recv_from = (self.rank - step) % self.size
-            self._send_raw(send_to, objs[send_to], tag)
-            msg = self._recv_raw(source=recv_from, tag=tag)
-            out[recv_from] = msg.payload
-        return out
+        with self._traced("alltoall", objs):
+            out: list[Any] = [None] * self.size
+            out[self.rank] = objs[self.rank]
+            # Rotating pairwise schedule: step k sends to rank+k, receives
+            # from rank-k — deadlock-free because sends are buffered.
+            for step in range(1, self.size):
+                send_to = (self.rank + step) % self.size
+                recv_from = (self.rank - step) % self.size
+                self._send_raw(send_to, objs[send_to], tag)
+                msg = self._recv_raw(source=recv_from, tag=tag)
+                out[recv_from] = msg.payload
+            return out
 
     def reduce(self, obj: Any, op: str = ReduceOp.SUM, root: int = 0) -> Any:
         from repro.mpi import collectives
 
-        return collectives.binomial_reduce(self, obj, op, root, self._next_coll_tag())
+        with self._traced("reduce", obj):
+            return collectives.binomial_reduce(self, obj, op, root,
+                                               self._next_coll_tag())
 
     def allreduce(self, obj: Any, op: str = ReduceOp.SUM) -> Any:
         from repro.mpi import collectives
 
-        if isinstance(obj, np.ndarray) and obj.size >= self.size and op == ReduceOp.SUM:
-            out = obj.astype(np.result_type(obj.dtype, np.float64), copy=True) \
-                if obj.dtype.kind in "fc" else obj.copy()
-            collectives.ring_allreduce_inplace(self, out, self._next_coll_tag())
-            return out
-        return collectives.recursive_doubling_allreduce(
-            self, obj, op, self._next_coll_tag()
-        )
+        with self._traced("allreduce", obj):
+            if isinstance(obj, np.ndarray) and obj.size >= self.size \
+                    and op == ReduceOp.SUM:
+                out = obj.astype(np.result_type(obj.dtype, np.float64),
+                                 copy=True) \
+                    if obj.dtype.kind in "fc" else obj.copy()
+                collectives.ring_allreduce_inplace(self, out,
+                                                   self._next_coll_tag())
+                return out
+            return collectives.recursive_doubling_allreduce(
+                self, obj, op, self._next_coll_tag()
+            )
 
     def reduce_scatter(self, array: np.ndarray) -> tuple[np.ndarray, tuple[int, int]]:
         """SUM-reduce a buffer and scatter chunks: each rank gets its fully
         reduced slice plus the (lo, hi) bounds into the flattened buffer."""
         from repro.mpi import collectives
 
-        return collectives.ring_reduce_scatter(
-            self, array, self._next_coll_tag())
+        with self._traced("reduce_scatter", array):
+            return collectives.ring_reduce_scatter(
+                self, array, self._next_coll_tag())
 
     def scan(self, obj: Any, op: str = ReduceOp.SUM) -> Any:
         """Inclusive prefix reduction."""
         tag = self._next_coll_tag()
-        fn = ReduceOp.func(op)
-        acc = obj
-        if self.rank > 0:
-            prev = self._recv_raw(source=self.rank - 1, tag=tag).payload
-            acc = fn(prev, obj)
-        if self.rank < self.size - 1:
-            self._send_raw(self.rank + 1, acc, tag)
-        return acc
+        with self._traced("scan", obj):
+            fn = ReduceOp.func(op)
+            acc = obj
+            if self.rank > 0:
+                prev = self._recv_raw(source=self.rank - 1, tag=tag).payload
+                acc = fn(prev, obj)
+            if self.rank < self.size - 1:
+                self._send_raw(self.rank + 1, acc, tag)
+            return acc
 
     # -- uppercase buffer API ----------------------------------------------------
     @staticmethod

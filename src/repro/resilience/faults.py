@@ -318,6 +318,14 @@ class FaultInjector:
     def _fire(self, evt: Event) -> None:
         spec: FaultSpec = evt.value
         self.injected.append((evt.time, spec))
+        from repro import telemetry
+
+        telemetry.get_tracer().instant(
+            spec.kind.value, "fault", evt.time, track="faults",
+            lane="injector", module=spec.module, node=spec.node,
+            fault_duration_s=spec.duration, magnitude=spec.magnitude)
+        telemetry.get_registry().counter(
+            "faults_injected_total", kind=spec.kind.value).inc()
         for handler in self._handlers.get(spec.kind, ()):
             handler(spec)
 

@@ -113,6 +113,22 @@ class ResilienceReport:
                 sorted((r for r in self.requeues if r.job_name == job_name),
                        key=lambda r: r.attempt)]
 
+    def publish_metrics(self, registry=None) -> None:
+        """Publish the report's headline numbers into a metrics registry."""
+        from repro import telemetry
+
+        reg = registry if registry is not None else telemetry.get_registry()
+        reg.gauge("resilience_faults_injected").set(len(self.faults_injected))
+        reg.gauge("resilience_phase_failures").set(len(self.failures))
+        reg.gauge("resilience_retries").set(self.total_retries)
+        reg.gauge("resilience_recoveries").set(len(self.recoveries))
+        reg.gauge("resilience_permanent_failures").set(
+            len(self.jobs_failed_permanently))
+        reg.gauge("resilience_lost_node_seconds").set(self.lost_node_seconds)
+        mttr = self.mttr_s
+        if mttr is not None:
+            reg.gauge("resilience_mttr_seconds").set(mttr)
+
     def summary(self) -> str:
         rows = [
             "resilience report:",

@@ -25,6 +25,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.presets import small_msa_system
 from repro.core.system import MSASystem
 from repro.distributed.perfmodel import InferencePerfModel
@@ -159,8 +160,10 @@ class ServingEngine:
         perf: Optional[InferencePerfModel] = None,
         fault_injector: Optional[FaultInjector] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        registry: Optional[telemetry.MetricsRegistry] = None,
     ) -> None:
         self.config = config
+        self.tracer = telemetry.get_tracer()
         self.system = system if system is not None else small_msa_system()
         self.perf = perf if perf is not None else InferencePerfModel()
         self.sim = Simulator()
@@ -174,7 +177,8 @@ class ServingEngine:
                                 nodes_per_replica=config.nodes_per_replica,
                                 reference_batch_samples=ref_batch)
         self.autoscaler = Autoscaler(config.autoscaler)
-        self.metrics = ServingMetrics(duration_s=config.trace.duration_s)
+        self.metrics = ServingMetrics(duration_s=config.trace.duration_s,
+                                      registry=registry)
         self.retry = retry_policy if retry_policy is not None else \
             RetryPolicy(max_retries=SERVING_RETRY.max_retries,
                         base_delay_s=SERVING_RETRY.base_delay_s,
@@ -243,8 +247,13 @@ class ServingEngine:
         decision = self.admission.decide(now, self.batcher.depth)
         if not decision.admitted:
             self.metrics.record_rejection(decision.reason)
+            self.tracer.instant(decision.reason, "serving", now,
+                                track="serving", lane="admission",
+                                req=req.req_id)
             return
         self.metrics.record_admission()
+        self.tracer.instant("admit", "serving", now, track="serving",
+                            lane="admission", req=req.req_id)
         outcome = self.cache.lookup(req.key, req.req_id)
         if outcome == "hit":
             done = self.sim.timeout(self.config.cache_lookup_s, value=req,
@@ -257,7 +266,12 @@ class ServingEngine:
             self._kick()
 
     def _on_cache_hit(self, evt) -> None:
-        self._complete(evt.value)
+        req: Request = evt.value
+        self.tracer.record("cache-hit", "serving",
+                           self.sim.now - self.config.cache_lookup_s,
+                           self.config.cache_lookup_s, track="serving",
+                           lane="cache", req=req.req_id)
+        self._complete(req)
 
     def _complete(self, req: Request) -> None:
         latency = self.metrics.record_completion(req, self.sim.now)
@@ -300,6 +314,11 @@ class ServingEngine:
         assert batch is not None, "batch completion for an idle replica"
         replica.inflight = None
         replica.busy_s += now - batch.start
+        self.tracer.record("batch", "serving", batch.start, now - batch.start,
+                           track="serving",
+                           lane=f"replica{replica.rid:03d}",
+                           module=replica.module_key,
+                           n_requests=len(batch.requests))
         self.metrics.record_batch(len(batch.requests), replica.module_key,
                                   (now - batch.start) * len(replica.nodes))
         self.batch_log.append(
@@ -340,8 +359,11 @@ class ServingEngine:
             requeue = self.sim.timeout(backoff, value=drained,
                                        name=f"failover-r{replica.rid}")
             requeue.add_callback(self._on_failover_requeue)
-        self.metrics.failovers += 1
-        self.metrics.requests_failed_over += len(drained)
+        self.metrics.record_failover(len(drained))
+        self.tracer.instant("failover", "fault", now, track="serving",
+                            lane="failover", module=spec.module,
+                            node=spec.node, drained=len(drained),
+                            backoff_s=backoff)
         self.failover_events.append(FailoverEvent(
             replica_id=replica.rid, module_key=spec.module, node=spec.node,
             time=now, requests_drained=len(drained), backoff_s=backoff))
@@ -382,6 +404,10 @@ class ServingEngine:
             if self.pool.n_up > before:
                 self.autoscaler.note(now, self.pool.n_up - before,
                                      self.pool.n_up, reason)
+                self.tracer.instant("scale-up", "serving", now,
+                                    track="serving", lane="autoscaler",
+                                    delta=self.pool.n_up - before,
+                                    replicas=self.pool.n_up, reason=reason)
         elif delta < 0:
             victim = self.pool.retirement_candidate()
             if victim is not None:
@@ -389,6 +415,10 @@ class ServingEngine:
                 self._target_replicas = max(cfg.min_replicas,
                                             self.pool.n_up)
                 self.autoscaler.note(now, -1, self.pool.n_up, reason)
+                self.tracer.instant("scale-down", "serving", now,
+                                    track="serving", lane="autoscaler",
+                                    delta=-1, replicas=self.pool.n_up,
+                                    reason=reason)
         self._kick()
         drained = (self.metrics.completed == self.metrics.admitted)
         past_horizon = now >= self.config.trace.duration_s
@@ -403,8 +433,10 @@ def simulate_serving(
     perf: Optional[InferencePerfModel] = None,
     fault_injector: Optional[FaultInjector] = None,
     retry_policy: Optional[RetryPolicy] = None,
+    registry: Optional[telemetry.MetricsRegistry] = None,
 ) -> ServingReport:
     """Convenience wrapper: build an engine, run it, return the report."""
     return ServingEngine(config, system=system, perf=perf,
                          fault_injector=fault_injector,
-                         retry_policy=retry_policy).run()
+                         retry_policy=retry_policy,
+                         registry=registry).run()

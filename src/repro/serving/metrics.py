@@ -7,81 +7,150 @@ implementation the Fig. 3 A streaming model uses — so a "p99" from the
 serving engine and one from the streaming bench are always the same
 computation.
 
-``ServingMetrics`` is the engine's mutable ledger; it renders into the
-final report.  Every counter obeys one conservation law the tests assert:
+``ServingMetrics`` is the engine's mutable ledger; since the telemetry
+refactor it is a *view over a shared*
+:class:`~repro.telemetry.MetricsRegistry`: every count lives in a labeled
+family (``serving_requests_total{outcome=...}``,
+``serving_latency_seconds``, ``serving_module_busy_seconds{module=...}``)
+so the serving report, the Prometheus dump and the unified trace summary
+all draw from one registry.  Every counter obeys one conservation law the
+tests assert:
 
     offered = admitted + rate_limited + shed
     admitted = completed            (after drain — failover loses nothing)
 
-and ``goodput`` counts only admitted requests completed *within* their
-deadline: requests the system finished late are throughput, not goodput.
+and the residual of that law is published explicitly as the
+``serving_invariant_violations`` gauge (kept at zero by construction;
+CI fails any run where it is not).  ``goodput`` counts only admitted
+requests completed *within* their deadline: requests the system finished
+late are throughput, not goodput.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.stats import LatencySummary, percentile, summarize_latencies
 from repro.serving.request import Request
+from repro.telemetry import MetricsRegistry
 
 
-@dataclass
 class ServingMetrics:
-    """The engine's running ledger of one serving run."""
+    """The engine's running ledger of one serving run, registry-backed.
 
-    duration_s: float
+    Constructing one without an explicit registry creates a private
+    enabled registry, so independent engine runs never share counters —
+    the property behind byte-identical same-seed reports.  Passing the
+    capture registry (as ``repro trace serve`` does) folds the serving
+    numbers into the run-wide metrics dump.
+    """
 
-    # arrival accounting
-    offered: int = 0
-    admitted: int = 0
-    rate_limited: int = 0
-    shed: int = 0
-
-    # completion accounting
-    completed: int = 0
-    deadline_misses: int = 0
-    latencies_s: list[float] = field(default_factory=list)
-
-    # batching
-    batches: int = 0
-    batched_requests: int = 0
-
-    # failover
-    failovers: int = 0
-    requests_failed_over: int = 0
-
-    # per-module busy node-seconds (batch compute attributed to its module)
-    module_busy_s: dict[str, float] = field(default_factory=dict)
+    def __init__(self, duration_s: float,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.duration_s = duration_s
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._offered = reg.counter("serving_requests_total",
+                                    outcome="offered")
+        self._admitted = reg.counter("serving_requests_total",
+                                     outcome="admitted")
+        self._rate_limited = reg.counter("serving_requests_total",
+                                         outcome="rate_limited")
+        self._shed = reg.counter("serving_requests_total", outcome="shed")
+        self._completed = reg.counter("serving_requests_total",
+                                      outcome="completed")
+        self._deadline_misses = reg.counter("serving_deadline_misses_total")
+        self._latency = reg.histogram("serving_latency_seconds")
+        self._batches = reg.counter("serving_batches_total")
+        self._batched_requests = reg.counter("serving_batched_requests_total")
+        self._failovers = reg.counter("serving_failovers_total")
+        self._failed_over = reg.counter("serving_requests_failed_over_total")
+        self._violations = reg.gauge("serving_invariant_violations")
 
     # -- recording -----------------------------------------------------------
     def record_rejection(self, reason: str) -> None:
-        self.offered += 1
+        self._offered.inc()
         if reason == "rate-limited":
-            self.rate_limited += 1
+            self._rate_limited.inc()
         elif reason == "shed":
-            self.shed += 1
+            self._shed.inc()
         else:
             raise ValueError(f"unknown rejection reason {reason!r}")
 
     def record_admission(self) -> None:
-        self.offered += 1
-        self.admitted += 1
+        self._offered.inc()
+        self._admitted.inc()
 
     def record_completion(self, req: Request, now: float) -> float:
         """Complete one admitted request; returns its latency."""
         latency = now - req.arrival_s
-        self.completed += 1
-        self.latencies_s.append(latency)
+        self._completed.inc()
+        self._latency.observe(latency)
         if now > req.deadline_s + 1e-12:
-            self.deadline_misses += 1
+            self._deadline_misses.inc()
         return latency
 
     def record_batch(self, n_requests: int, module_key: str,
                      busy_s: float) -> None:
-        self.batches += 1
-        self.batched_requests += n_requests
-        self.module_busy_s[module_key] = (
-            self.module_busy_s.get(module_key, 0.0) + busy_s)
+        self._batches.inc()
+        self._batched_requests.inc(n_requests)
+        self.registry.counter("serving_module_busy_seconds",
+                              module=module_key).inc(busy_s)
+
+    def record_failover(self, n_drained: int) -> None:
+        self._failovers.inc()
+        self._failed_over.inc(n_drained)
+
+    # -- ledger counts (registry views) --------------------------------------
+    @property
+    def offered(self) -> int:
+        return int(self._offered.value)
+
+    @property
+    def admitted(self) -> int:
+        return int(self._admitted.value)
+
+    @property
+    def rate_limited(self) -> int:
+        return int(self._rate_limited.value)
+
+    @property
+    def shed(self) -> int:
+        return int(self._shed.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def deadline_misses(self) -> int:
+        return int(self._deadline_misses.value)
+
+    @property
+    def latencies_s(self) -> list[float]:
+        return self._latency.values
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def batched_requests(self) -> int:
+        return int(self._batched_requests.value)
+
+    @property
+    def failovers(self) -> int:
+        return int(self._failovers.value)
+
+    @property
+    def requests_failed_over(self) -> int:
+        return int(self._failed_over.value)
+
+    @property
+    def module_busy_s(self) -> dict[str, float]:
+        return {dict(key)["module"]: counter.value
+                for key, counter in
+                self.registry.members("serving_module_busy_seconds")}
 
     # -- headline numbers ----------------------------------------------------
     @property
@@ -128,8 +197,23 @@ class ServingMetrics:
         """Does the latency quantile sit within the per-request budget?"""
         return self.percentile(quantile) <= deadline_budget_s
 
+    # -- conservation --------------------------------------------------------
+    @property
+    def invariant_violations(self) -> int:
+        """Total accounting leak across both conservation identities.
+
+        Zero by construction; exported as the
+        ``serving_invariant_violations`` gauge so a leak is visible in
+        every metrics dump, not only inside the test suite.
+        """
+        arrival_leak = abs(self.offered
+                           - (self.admitted + self.rate_limited + self.shed))
+        completion_leak = abs(self.completed - self.admitted)
+        return arrival_leak + completion_leak
+
     def check_conservation(self) -> None:
-        """Assert the accounting identities; raises on a leak."""
+        """Publish the invariant gauge and raise on a leak."""
+        self._violations.set(self.invariant_violations)
         if self.offered != self.admitted + self.rate_limited + self.shed:
             raise AssertionError(
                 f"arrival accounting leak: offered={self.offered} != "

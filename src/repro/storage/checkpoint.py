@@ -114,6 +114,14 @@ class CheckpointManager:
         self._records[(name, target)] = CheckpointRecord(
             name=name, step=step, nbytes=nbytes, target=target,
             payload=payload, checksum=zlib.crc32(payload))
+        from repro import telemetry
+
+        registry = telemetry.get_registry()
+        registry.counter("checkpoint_writes_total", target=target).inc()
+        registry.counter("checkpoint_bytes_total", direction="write",
+                         target=target).inc(nbytes)
+        registry.histogram("checkpoint_write_seconds",
+                           target=target).observe(t)
         return t
 
     def save(self, name: str, step: int, state: dict[str, np.ndarray],
@@ -150,6 +158,15 @@ class CheckpointManager:
             raise CheckpointError(
                 f"checkpoint {record.name!r} on {record.target} "
                 f"unreadable: {exc}") from exc
+        from repro import telemetry
+
+        registry = telemetry.get_registry()
+        registry.counter("checkpoint_restores_total",
+                         target=record.target).inc()
+        registry.counter("checkpoint_bytes_total", direction="read",
+                         target=record.target).inc(record.nbytes)
+        registry.histogram("checkpoint_restore_seconds",
+                           target=record.target).observe(t)
         return state, record.step, t
 
     def restore(self, name: str, target: Optional[str] = None

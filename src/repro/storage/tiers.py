@@ -108,6 +108,13 @@ class TieredStore:
                 self._used[s.tier] -= s.size_bytes
             raise MemoryError(f"no room for {name!r}: {remaining} bytes overflow")
         self._placements[name] = slices
+        from repro import telemetry
+
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            for s in slices:
+                registry.counter("tier_bytes_total", direction="write",
+                                 tier=s.tier.value).inc(s.size_bytes)
         return slices
 
     def drop(self, name: str) -> None:
@@ -127,6 +134,13 @@ class TieredStore:
         """Read the whole dataset: tier slices stream in parallel, so the
         slowest slice dominates (the spill tail is the bottleneck)."""
         slices = self.placement(name)
+        from repro import telemetry
+
+        registry = telemetry.get_registry()
+        if registry.enabled:
+            for s in slices:
+                registry.counter("tier_bytes_total", direction="read",
+                                 tier=s.tier.value).inc(s.size_bytes)
         return max(s.read_time() for s in slices) if slices else 0.0
 
     def read_time_serial(self, name: str) -> float:

@@ -1,0 +1,170 @@
+"""Canonical traced scenarios behind ``repro trace``.
+
+Two end-to-end runs, each executed under :func:`repro.telemetry.capture`
+so every instrumented layer records into one tracer/registry pair:
+
+* :func:`trace_training_scenario` — a faulted batch workload through the
+  MSA scheduler (node crashes, requeues) *plus* a faulted elastic
+  training run (rank kills, ULFM shrink, NAM/PFS checkpoint-restart).
+  The resulting trace carries five subsystem tracks — ``scheduler``,
+  ``mpi``, ``train``, ``storage`` and ``faults`` — on one simulated
+  timebase.
+* :func:`trace_serving_scenario` — an online-serving run with admission
+  control, micro-batching, a replica crash mid-run and the autoscaler
+  active; tracks ``serving`` and ``faults``.
+
+Everything is seed-driven: the same ``seed`` produces byte-identical
+``trace.json`` / ``metrics.prom`` / ``summary.txt`` artifacts, which the
+trace-determinism tests assert literally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import telemetry
+from repro.telemetry.export import chrome_trace_json, run_summary
+
+
+@dataclass(frozen=True)
+class TraceArtifacts:
+    """The three exportable documents of one traced scenario run."""
+
+    scenario: str
+    seed: int
+    trace_json: str          #: Chrome trace-event JSON (chrome://tracing)
+    prometheus: str          #: Prometheus text exposition of the registry
+    summary: str             #: human-readable rollup
+    tracks: tuple[str, ...]  #: subsystem tracks present in the trace
+    n_spans: int
+    #: Gauges above zero whose name mentions "invariant" — must be empty.
+    invariant_violations: tuple[tuple[str, tuple, float], ...]
+    #: The raw spans (deterministic order) — for nesting validation.
+    spans: tuple[telemetry.Span, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_violations
+
+
+def _artifacts(scenario: str, seed: int, tracer: telemetry.Tracer,
+               registry: telemetry.MetricsRegistry) -> TraceArtifacts:
+    spans = tracer.spans
+    violations = tuple(registry.gauges_over(0.0, name_contains="invariant"))
+    return TraceArtifacts(
+        scenario=scenario,
+        seed=seed,
+        trace_json=chrome_trace_json(spans),
+        prometheus=registry.to_prometheus(),
+        summary=run_summary(spans, registry,
+                            title=f"repro trace {scenario} (seed {seed})"),
+        tracks=tuple(tracer.tracks()),
+        n_spans=len(spans),
+        invariant_violations=violations,
+        spans=tuple(spans),
+    )
+
+
+def trace_training_scenario(seed: int = 0, quick: bool = False
+                            ) -> TraceArtifacts:
+    """Faulted scheduler workload + faulted elastic training, one capture."""
+    from repro.core.presets import small_msa_system
+    from repro.core.jobs import synthetic_workload_mix
+    from repro.core.scheduler import schedule_workload
+    from repro.distributed.horovod import run_elastic_training
+    from repro.ml.models import MLP
+    from repro.resilience.faults import FaultInjector, FaultPlan
+    from repro.resilience.policy import CheckpointPolicy
+    from repro.storage.checkpoint import CheckpointManager
+    from repro.storage.nam import NetworkAttachedMemory
+    from repro.storage.pfs import ParallelFileSystem
+
+    n_jobs = 4 if quick else 8
+    n_steps = 8 if quick else 16
+    world_size = 4
+    kill_step = n_steps // 2
+
+    rng = np.random.default_rng(seed)
+    X = np.concatenate([rng.normal(-2.0, 1.0, size=(64, 2)),
+                        rng.normal(2.0, 1.0, size=(64, 2))])
+    Y = np.array([0] * 64 + [1] * 64)
+
+    with telemetry.capture() as (tracer, registry):
+        # 1) The batch side: a workload mix with node crashes mid-run.
+        system = small_msa_system()
+        targets = {key: module.n_nodes
+                   for key, module in system.compute_modules().items()}
+        plan = FaultPlan.random(seed, targets=targets, horizon_s=40_000.0,
+                                n_crashes=2, repair_s=1_200.0)
+        schedule_workload(
+            system,
+            synthetic_workload_mix(n_jobs=n_jobs, seed=seed,
+                                   mean_interarrival_s=600.0),
+            fault_injector=FaultInjector(plan),
+        )
+
+        # 2) The training side: rank kills + NAM-first checkpoint-restart.
+        manager = CheckpointManager(
+            nam=NetworkAttachedMemory(capacity_GB=1),
+            pfs=ParallelFileSystem("pfs", n_targets=4))
+        run_elastic_training(
+            model_factory=lambda: MLP([2, 8, 2], seed=3),
+            X=X, Y=Y,
+            n_steps=n_steps,
+            batch_size=16,
+            world_size=world_size,
+            seed=seed,
+            fault_plan=FaultPlan.rank_kills(seed, {kill_step: [1]}),
+            checkpoint_manager=manager,
+            checkpoint_policy=CheckpointPolicy(every_steps=4,
+                                               replicate=True),
+            name="trace-train",
+        )
+    return _artifacts("train", seed, tracer, registry)
+
+
+def trace_serving_scenario(seed: int = 0, quick: bool = False
+                           ) -> TraceArtifacts:
+    """Online serving under load with a replica crash and autoscaling."""
+    from repro.core.presets import small_msa_system
+    from repro.resilience.faults import (
+        FaultInjector,
+        FaultKind,
+        FaultPlan,
+        FaultSpec,
+    )
+    from repro.serving.engine import ServingConfig, simulate_serving
+    from repro.serving.request import ArrivalPattern, TraceConfig
+    from repro.serving.batcher import BatchPolicy
+    from repro.serving.admission import AdmissionPolicy
+    from repro.serving.replicas import AutoscalerConfig
+
+    duration = 10.0 if quick else 25.0
+    config = ServingConfig(
+        trace=TraceConfig(pattern=ArrivalPattern.POISSON, rate_per_s=120.0,
+                          duration_s=duration, samples_per_request=32,
+                          seed=seed, key_universe=1 << 20),
+        batch=BatchPolicy(),
+        admission=AdmissionPolicy(max_queue_depth=256),
+        autoscaler=AutoscalerConfig(enabled=True, min_replicas=2,
+                                    max_replicas=8),
+        initial_replicas=2,
+        cache_capacity=128,
+    )
+    plan = FaultPlan(seed=seed, specs=(
+        FaultSpec(kind=FaultKind.NODE_CRASH, time=duration / 5.0,
+                  module="esb", node=0, duration=5.0),))
+    with telemetry.capture() as (tracer, registry):
+        report = simulate_serving(config, system=small_msa_system(),
+                                  fault_injector=FaultInjector(plan),
+                                  registry=registry)
+        report.metrics.check_conservation()
+    return _artifacts("serve", seed, tracer, registry)
+
+
+SCENARIOS = {
+    "train": trace_training_scenario,
+    "serve": trace_serving_scenario,
+}

@@ -1,0 +1,113 @@
+"""End-to-end trace tests: determinism, coverage, well-formedness, CLI.
+
+These drive the canonical ``repro trace`` scenarios (quick variants) and
+assert the acceptance properties literally: same seed → byte-identical
+artifacts, spans from ≥4 subsystems on one simulated timebase, valid
+nesting per rank lane, and a zero invariant gauge.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.scenarios import (
+    SCENARIOS,
+    trace_serving_scenario,
+    trace_training_scenario,
+)
+from repro.telemetry.spans import validate_nesting
+
+
+@pytest.fixture(scope="module")
+def train_artifacts():
+    return trace_training_scenario(seed=0, quick=True)
+
+
+@pytest.fixture(scope="module")
+def serve_artifacts():
+    return trace_serving_scenario(seed=0, quick=True)
+
+
+class TestTrainScenario:
+    def test_cross_layer_coverage(self, train_artifacts):
+        # The acceptance bar: one trace, one timebase, ≥4 subsystems.
+        assert set(train_artifacts.tracks) >= {"scheduler", "mpi", "train",
+                                               "storage", "faults"}
+        assert train_artifacts.n_spans > 50
+
+    def test_byte_identical_rerun(self, train_artifacts):
+        again = trace_training_scenario(seed=0, quick=True)
+        assert again.trace_json == train_artifacts.trace_json
+        assert again.prometheus == train_artifacts.prometheus
+        assert again.summary == train_artifacts.summary
+
+    def test_seed_changes_trace(self, train_artifacts):
+        other = trace_training_scenario(seed=1, quick=True)
+        assert other.trace_json != train_artifacts.trace_json
+
+    def test_trace_is_valid_chrome_json(self, train_artifacts):
+        trace = json.loads(train_artifacts.trace_json)
+        events = trace["traceEvents"]
+        assert {e["ph"] for e in events} == {"M", "X", "i"}
+        for e in events:
+            if e["ph"] == "X":
+                assert e["dur"] >= 0 and e["ts"] >= 0
+
+    def test_rank_lane_spans_nest(self, train_artifacts):
+        # Comm/train spans on a rank's lane must nest or be disjoint —
+        # a partial overlap means an instrumentation clock bug.
+        rank_spans = [s for s in train_artifacts.spans
+                      if s.track in ("mpi", "train")]
+        assert rank_spans
+        assert validate_nesting(rank_spans) == []
+
+    def test_key_events_present(self, train_artifacts):
+        names = {s.name for s in train_artifacts.spans}
+        assert {"allreduce", "step", "grad-allreduce", "rank-kill",
+                "checkpoint-save", "checkpoint-restore", "submit",
+                "place"} <= names
+
+    def test_metrics_cover_subsystems(self, train_artifacts):
+        prom = train_artifacts.prometheus
+        for needle in ("collective_calls_total", "train_steps_total",
+                       "checkpoint_writes_total", "faults_injected_total",
+                       "scheduler_jobs_completed", "resilience_recoveries"):
+            assert needle in prom
+
+    def test_no_invariant_violations(self, train_artifacts):
+        assert train_artifacts.ok
+
+
+class TestServeScenario:
+    def test_byte_identical_rerun(self, serve_artifacts):
+        again = trace_serving_scenario(seed=0, quick=True)
+        assert again.trace_json == serve_artifacts.trace_json
+        assert again.prometheus == serve_artifacts.prometheus
+
+    def test_serving_and_fault_tracks(self, serve_artifacts):
+        assert {"serving", "faults"} <= set(serve_artifacts.tracks)
+
+    def test_conservation_gauge_zero(self, serve_artifacts):
+        assert serve_artifacts.ok
+        assert "serving_invariant_violations 0" in serve_artifacts.prometheus
+
+    def test_failover_visible(self, serve_artifacts):
+        names = {s.name for s in serve_artifacts.spans}
+        assert "failover" in names
+        assert "batch" in names
+
+
+class TestTraceCLI:
+    def test_writes_artifacts_and_exits_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "trace-out"
+        rc = main(["trace", "serve", "--quick", "--out", str(out)])
+        assert rc == 0
+        for fname in ("trace.json", "metrics.prom", "summary.txt"):
+            assert (out / fname).read_text().strip()
+        json.loads((out / "trace.json").read_text())
+        assert "repro trace serve" in capsys.readouterr().out
+
+    def test_scenarios_registry_matches_cli_choices(self):
+        assert set(SCENARIOS) == {"train", "serve"}
