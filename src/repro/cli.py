@@ -11,6 +11,8 @@ Commands mirror the operator tasks the examples walk through:
   optional fault plan) and print the serving report,
 * ``trace`` — run a canonical traced scenario under the unified telemetry
   layer and write Chrome-trace / Prometheus / summary artifacts,
+* ``drill`` — run a resilience drill; ``drill sdc`` injects silent data
+  corruption end-to-end and exits non-zero on any undetected corruption,
 * ``experiments`` — list every experiment and the bench that regenerates it.
 """
 
@@ -51,6 +53,8 @@ EXPERIMENTS = [
      "benchmarks/bench_serving_slo.py"),
     ("E15", "unified telemetry traces (chrome://tracing / Perfetto)",
      "benchmarks/bench_telemetry_overhead.py"),
+    ("E16", "SDC drill (silent-corruption detection, rollback, overhead)",
+     "benchmarks/bench_integrity_overhead.py"),
     ("ABL", "design-choice ablations",
      "benchmarks/bench_ablations.py"),
 ]
@@ -192,6 +196,29 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_drill(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.resilience.drill import run_sdc_drill
+
+    report, prometheus = run_sdc_drill(seed=args.seed, quick=args.quick,
+                                       verify=not args.no_verify)
+    out_dir = args.out or os.path.join("drills", f"sdc-seed{args.seed}")
+    os.makedirs(out_dir, exist_ok=True)
+    with open(os.path.join(out_dir, "report.txt"), "w") as fh:
+        fh.write(report.to_text())
+    with open(os.path.join(out_dir, "metrics.prom"), "w") as fh:
+        fh.write(prometheus)
+        if not prometheus.endswith("\n"):
+            fh.write("\n")
+    print(report.to_text())
+    print(f"artifacts written to {out_dir}/ (report.txt, metrics.prom)")
+    if report.verify and report.undetected > 0:
+        print(f"UNDETECTED CORRUPTION: {report.undetected:g}",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[1]) for e in EXPERIMENTS)
     for exp_id, title, bench in EXPERIMENTS:
@@ -267,6 +294,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="",
                    help="output directory (default traces/<scenario>-seed<N>)")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("drill", help="run a resilience drill")
+    p.add_argument("kind", choices=("sdc",),
+                   help="sdc: end-to-end silent-data-corruption drill")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--quick", action="store_true",
+                   help="smaller run (CI smoke)")
+    p.add_argument("--no-verify", action="store_true",
+                   help="disable detection to demonstrate the injector "
+                        "(report shows the corrupted outcome)")
+    p.add_argument("--out", default="",
+                   help="output directory (default drills/sdc-seed<N>)")
+    p.set_defaults(fn=cmd_drill)
 
     sub.add_parser("experiments", help="list experiments and benches"
                    ).set_defaults(fn=cmd_experiments)

@@ -335,6 +335,28 @@ class MsaScheduler:
             self.resilience.repairs.append((self.sim.now, key, node))
         self._dispatch()
 
+    def quarantine(self, module_key: str, node: int) -> None:
+        """Mark a node suspect without a crash event.
+
+        The integrity layer calls this when a verified collective
+        identifies a rank whose contributions are corrupt: the node keeps
+        running (it is not *down* — it computes wrong answers), so nothing
+        is killed or repaired, but placement steers new allocations around
+        it exactly like a recently crashed node.
+        """
+        if module_key not in self.system.modules:
+            raise ValueError(f"unknown module {module_key!r}")
+        self._suspect.setdefault(module_key, set()).add(node)
+        self.tracer.instant("quarantine", "fault", self.sim.now,
+                            track="faults", lane="corruption",
+                            module=module_key, node=node)
+        telemetry.get_registry().counter(
+            "scheduler_quarantined_nodes_total", module=module_key).inc()
+
+    def suspect_nodes(self, module_key: str) -> frozenset:
+        """Currently suspect nodes of a module (crashed or quarantined)."""
+        return frozenset(self._suspect.get(module_key, ()))
+
     def _fail_running(self, record: _RunningRecord, spec: FaultSpec) -> None:
         """Kill a phase in flight: retract its completion, refund the tail,
         release survivors, and requeue or permanently fail the job."""

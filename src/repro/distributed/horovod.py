@@ -91,11 +91,23 @@ class DistributedOptimizer:
         comm: Communicator,
         compression=None,
         average: bool = True,
+        injector: Any = None,
+        integrity_config: Any = None,
     ) -> None:
         self.optimizer = optimizer
         self.comm = comm
         self.compression = compression or NoCompression()
         self.average = average
+        #: Silent-corruption machinery: a
+        #: :class:`~repro.resilience.integrity.CorruptionInjector` plus an
+        #: :class:`~repro.resilience.integrity.IntegrityConfig` switch the
+        #: gradient path to the ABFT-verified allreduce (raising
+        #: :class:`~repro.resilience.integrity.GradientCorruptionError`
+        #: with the offending world ranks on detection).  ``current_step``
+        #: tells the injector which step's faults apply.
+        self.injector = injector
+        self.integrity_config = integrity_config
+        self.current_step = 0
         self._tag_seq = 0
         #: Traffic accounting for the scaling experiments.
         self.bytes_communicated = 0
@@ -117,21 +129,34 @@ class DistributedOptimizer:
         self.optimizer.zero_grad()
 
     def synchronize(self) -> None:
-        """Fused-buffer allreduce of gradients (SUM, then divide)."""
+        """Fused-buffer allreduce of gradients (SUM, then divide).
+
+        With integrity machinery attached the reduction runs through the
+        ABFT-verified path instead (uncompressed — the checksum invariant
+        is over the exact float64 contributions).
+        """
         if self.comm.size == 1:
             return
         tracer = telemetry.get_tracer()
         start = self.comm.sim_time if tracer.enabled else 0.0
         fused = _flatten_grads(self.params)
-        wire = self.compression.compress(fused)
-        if wire.size >= self.comm.size:
-            tag = self.comm._next_coll_tag()
-            collectives.ring_allreduce_inplace(self.comm, wire, tag)
-            reduced = self.compression.decompress(wire)
+        if self.integrity_config is not None or self.injector is not None:
+            from repro.resilience.integrity import (IntegrityConfig,
+                                                    verified_grad_allreduce)
+
+            reduced = verified_grad_allreduce(
+                self.comm, fused, self.injector, self.current_step,
+                self.integrity_config or IntegrityConfig())
         else:
-            reduced = self.compression.decompress(
-                self.comm.allreduce(wire, op=ReduceOp.SUM)
-            )
+            wire = self.compression.compress(fused)
+            if wire.size >= self.comm.size:
+                tag = self.comm._next_coll_tag()
+                collectives.ring_allreduce_inplace(self.comm, wire, tag)
+                reduced = self.compression.decompress(wire)
+            else:
+                reduced = self.compression.decompress(
+                    self.comm.allreduce(wire, op=ReduceOp.SUM)
+                )
         if self.average:
             reduced = reduced / self.comm.size
         nbytes = self.compression.wire_bytes(fused)
@@ -184,6 +209,8 @@ class ElasticRecovery:
     restored_step: int               #: checkpoint step training resumed from
     restored_from: str               #: "nam" | "pfs" | "none" (no manager)
     world_size_after: int
+    reason: str = "rank-kill"        #: "rank-kill" | "gradient-corruption"
+    rollback_versions: int = 0       #: lineage versions skipped on restore
 
     @property
     def steps_lost(self) -> int:
@@ -200,6 +227,8 @@ class ElasticRunResult:
     final_state: dict[str, np.ndarray]
     final_world_size: int
     checkpoint_steps: list[int] = field(default_factory=list)
+    #: End-of-run at-rest verification summary ({"checked", "corrupt"}).
+    scrub: dict = field(default_factory=dict)
 
     @property
     def steps_lost(self) -> int:
@@ -221,6 +250,9 @@ def run_elastic_training(
     name: str = "elastic",
     cost_model=None,
     loss_fn: Optional[Callable] = None,
+    integrity_config: Any = None,
+    max_rollback: Optional[int] = None,
+    on_quarantine: Optional[Callable[[tuple[int, ...]], None]] = None,
 ) -> ElasticRunResult:
     """Data-parallel training that survives rank loss.
 
@@ -245,11 +277,30 @@ def run_elastic_training(
     Returns the surviving ranks' (identical) result.  The local optimiser
     is plain SGD without momentum, so model weights are the complete
     training state and checkpoint-restart is exact.
+
+    Silent corruption: when the fault plan carries corruption specs (or
+    ``integrity_config`` is given), an
+    :class:`~repro.resilience.integrity.IntegrityContext` is installed on
+    every communicator (checksummed message envelopes) and gradient
+    reduction goes through the ABFT-verified allreduce.  A detected
+    corrupted contribution is handled exactly like a killed rank — the
+    offender is reported to ``on_quarantine`` (e.g. the scheduler's
+    suspect-node machinery), the ring shrinks, and survivors roll back to
+    the newest *verified* checkpoint of the lineage (NAM→PFS within each
+    version, bounded by ``max_rollback``).  CHECKPOINT_ROT specs strike
+    stored versions at their step; an end-of-run scrub verifies whatever
+    was never restored, so every injected corruption is accounted for.
     """
     from repro.ml.optim import SGD
     from repro.ml.tensor import Tensor
     from repro.ml.losses import cross_entropy
     from repro.mpi.runtime import run_spmd
+    from repro.resilience.integrity import (
+        CorruptionInjector,
+        GradientCorruptionError,
+        IntegrityConfig,
+        IntegrityContext,
+    )
 
     if world_size < 1:
         raise ValueError("world_size must be >= 1")
@@ -262,17 +313,31 @@ def run_elastic_training(
     compute_loss = loss_fn or cross_entropy
     n_samples = len(X)
 
+    injector = None
+    integrity_ctx = None
+    if fault_plan is not None and getattr(fault_plan, "has_corruption", False):
+        injector = CorruptionInjector(fault_plan)
+    if injector is not None or integrity_config is not None:
+        integrity_config = integrity_config or IntegrityConfig()
+        integrity_ctx = IntegrityContext(injector, integrity_config)
+
+    #: CHECKPOINT_ROT specs already applied, shared by whichever thread is
+    #: rank 0 when a step is first reached (ring transitions order access).
+    consumed_rots: set[tuple[int, int]] = set()
+
     def _rank_main(comm: Communicator) -> Optional[dict]:
         tracer = telemetry.get_tracer()
         model = model_factory()
         broadcast_parameters(model, comm)
         active = comm
         opt = DistributedOptimizer(
-            SGD(model.parameters(), lr=lr), active, average=False)
+            SGD(model.parameters(), lr=lr), active, average=False,
+            injector=injector, integrity_config=integrity_config)
         losses: list[float] = []
         recoveries: list[ElasticRecovery] = []
         ckpt_steps: set[int] = set()
         consumed_kills: set[int] = set()
+        step = 0
 
         def _save_checkpoint(step: int) -> None:
             t_write = checkpoint_manager.save(
@@ -283,85 +348,132 @@ def run_elastic_training(
                           step=step,
                           replicate=checkpoint_policy.replicate)
 
+        def _apply_checkpoint_rot() -> None:
+            """Rank 0 strikes stored versions with this step's rot specs."""
+            if fault_plan is None or checkpoint_manager is None \
+                    or active.rank != 0:
+                return
+            for i, spec in enumerate(
+                    fault_plan.checkpoint_rots_at_step(step)):
+                key = (step, i)
+                if key in consumed_rots:
+                    continue
+                consumed_rots.add(key)
+                target = spec.module or checkpoint_manager.prefer
+                if not checkpoint_manager.exists(name, target=target):
+                    continue
+                checkpoint_manager.corrupt(name, target=target)
+                tracer.instant(
+                    "checkpoint-rot", "fault", active.sim_time,
+                    track="faults", lane="corruption", step=step,
+                    target=target)
+
+        def _recover(dead: set, reason: str) -> bool:
+            """Shrink away ``dead`` world ranks, roll back to the newest
+            verified checkpoint; returns False if *this* rank left."""
+            nonlocal active, opt, step
+            if active.rank == 0:
+                tracer.instant(
+                    reason, "fault", active.sim_time, track="faults",
+                    lane="rank-kills" if reason == "rank-kill"
+                    else "corruption", step=step,
+                    ranks=",".join(str(r) for r in sorted(dead)))
+            dead_local = [i for i, w in enumerate(active.group) if w in dead]
+            if len(dead_local) >= active.size:
+                raise RuntimeError(
+                    f"fault plan kills all {active.size} live ranks "
+                    f"at step {step}")
+            shrunk = active.shrink(dead_local)
+            if shrunk is None:
+                return False         # this rank died here
+            active = shrunk
+            depth = 0
+            if checkpoint_manager is not None:
+                if active.rank == 0:
+                    restored = checkpoint_manager.restore_latest_verified(
+                        name, checkpoint_policy, max_rollback=max_rollback)
+                    tracer.record(
+                        "checkpoint-restore", "storage", active.sim_time,
+                        restored.read_time_s, track="storage",
+                        lane="checkpoint", step=restored.step,
+                        target=restored.target,
+                        rollback=restored.rollback_versions)
+                    payload = (restored.state, restored.step,
+                               restored.target, restored.rollback_versions)
+                else:
+                    payload = None
+                state, ck_step, target, depth = active.bcast(payload, root=0)
+                model.load_state_dict(state)
+                del losses[ck_step:]
+            else:
+                # No checkpoints: survivors carry on from current weights,
+                # losing nothing but the dead ranks (a corruption was
+                # caught before the update applied, so weights are clean).
+                ck_step, target = step, "none"
+            if active.rank == 0:
+                tracer.instant(
+                    "recovered", "fault", active.sim_time,
+                    track="faults", lane="rank-kills",
+                    restored_step=ck_step, restored_from=target,
+                    world_size=active.size)
+            recoveries.append(ElasticRecovery(
+                failed_step=step,
+                dead_world_ranks=tuple(sorted(dead)),
+                restored_step=ck_step,
+                restored_from=target,
+                world_size_after=active.size,
+                reason=reason,
+                rollback_versions=depth,
+            ))
+            step = ck_step
+            opt = DistributedOptimizer(
+                SGD(model.parameters(), lr=lr), active, average=False,
+                injector=injector, integrity_config=integrity_config)
+            return True
+
         if checkpoint_manager is not None and active.rank == 0:
             _save_checkpoint(0)
         if checkpoint_manager is not None:
             ckpt_steps.add(0)
 
-        step = 0
         while step < n_steps:
             kills = (fault_plan.kills_at_step(step)
                      if fault_plan is not None else ())
             if kills and step not in consumed_kills:
                 consumed_kills.add(step)
                 dead = set(kills)
-                dead_local = [i for i, w in enumerate(active.group)
-                              if w in dead]
-                if dead_local:
-                    if len(dead_local) >= active.size:
-                        raise RuntimeError(
-                            f"fault plan kills all {active.size} live ranks "
-                            f"at step {step}")
-                    if active.rank == 0:
-                        tracer.instant(
-                            "rank-kill", "fault", active.sim_time,
-                            track="faults", lane="rank-kills", step=step,
-                            ranks=",".join(str(r) for r in sorted(dead)))
-                    shrunk = active.shrink(dead_local)
-                    if shrunk is None:
-                        return None      # this rank died here
-                    active = shrunk
-                    if checkpoint_manager is not None:
-                        if active.rank == 0:
-                            state, ck_step, _t, target = (
-                                checkpoint_manager.restore_with_fallback(
-                                    name, checkpoint_policy))
-                            tracer.record(
-                                "checkpoint-restore", "storage",
-                                active.sim_time, _t, track="storage",
-                                lane="checkpoint", step=ck_step,
-                                target=target)
-                            payload = (state, ck_step, target)
-                        else:
-                            payload = None
-                        state, ck_step, target = active.bcast(payload, root=0)
-                        model.load_state_dict(state)
-                        del losses[ck_step:]
-                    else:
-                        # No checkpoints: survivors carry on from current
-                        # weights, losing nothing but the dead ranks.
-                        ck_step, target = step, "none"
-                    if active.rank == 0:
-                        tracer.instant(
-                            "recovered", "fault", active.sim_time,
-                            track="faults", lane="rank-kills",
-                            restored_step=ck_step, restored_from=target,
-                            world_size=active.size)
-                    recoveries.append(ElasticRecovery(
-                        failed_step=step,
-                        dead_world_ranks=tuple(sorted(dead)),
-                        restored_step=ck_step,
-                        restored_from=target,
-                        world_size_after=active.size,
-                    ))
-                    step = ck_step
-                    opt = DistributedOptimizer(
-                        SGD(model.parameters(), lr=lr), active, average=False)
+                if any(w in dead for w in active.group):
+                    if not _recover(dead, "rank-kill"):
+                        return None
                 continue
 
-            with tracer.span("step", "train", lambda: active.sim_time,
-                             track="train", lane=active._lane(), step=step):
-                idx = global_batch_indices(n_samples, batch_size, step, seed)
-                shard = idx[active.rank::active.size]
-                logits = model(Tensor(X[shard]))
-                local = compute_loss(logits, Y[shard])
-                # Scale so the allreduce SUM equals the global-batch mean.
-                scaled = local * (len(shard) / batch_size)
-                opt.zero_grad()
-                scaled.backward()
-                opt.step()
-                losses.append(float(
-                    active.allreduce(scaled.item(), op=ReduceOp.SUM)))
+            _apply_checkpoint_rot()
+            try:
+                with tracer.span("step", "train", lambda: active.sim_time,
+                                 track="train", lane=active._lane(),
+                                 step=step):
+                    idx = global_batch_indices(n_samples, batch_size, step,
+                                               seed)
+                    shard = idx[active.rank::active.size]
+                    logits = model(Tensor(X[shard]))
+                    local = compute_loss(logits, Y[shard])
+                    # Scale so the allreduce SUM equals the global-batch
+                    # mean.
+                    scaled = local * (len(shard) / batch_size)
+                    opt.zero_grad()
+                    scaled.backward()
+                    opt.current_step = step
+                    opt.step()
+                    losses.append(float(
+                        active.allreduce(scaled.item(), op=ReduceOp.SUM)))
+            except GradientCorruptionError as exc:
+                # Every rank of the ring raises with the same offender set
+                # (the ABFT audit is collective), so recovery is agreed.
+                if active.rank == 0 and on_quarantine is not None:
+                    on_quarantine(exc.world_ranks)
+                if not _recover(set(exc.world_ranks), "gradient-corruption"):
+                    return None
+                continue
             telemetry.get_registry().counter("train_steps_total").inc()
             step += 1
             if (checkpoint_manager is not None
@@ -370,15 +482,22 @@ def run_elastic_training(
                     _save_checkpoint(step)
                 ckpt_steps.add(step)
 
+        scrub = {}
+        if checkpoint_manager is not None and active.rank == 0:
+            # At-rest verification: rot on versions that were never
+            # restored still gets *detected* here, closing the books.
+            scrub = checkpoint_manager.scrub(name)
         return {
             "losses": losses,
             "recoveries": recoveries,
             "state": model.state_dict(),
             "world_size": active.size,
             "ckpt_steps": sorted(ckpt_steps),
+            "scrub": scrub,
         }
 
-    results = run_spmd(_rank_main, world_size, cost_model=cost_model)
+    results = run_spmd(_rank_main, world_size, cost_model=cost_model,
+                       integrity=integrity_ctx)
     survivor = next(r for r in results if r is not None)
     return ElasticRunResult(
         losses=survivor["losses"],
@@ -386,4 +505,6 @@ def run_elastic_training(
         final_state=survivor["state"],
         final_world_size=survivor["world_size"],
         checkpoint_steps=survivor["ckpt_steps"],
+        scrub=next((r["scrub"] for r in results
+                    if r is not None and r["scrub"]), {}),
     )

@@ -126,6 +126,7 @@ class Communicator:
         group: Optional[Sequence[int]] = None,
         context: int = 0,
         cost_model: Optional[CommCostModel] = None,
+        integrity: Optional[Any] = None,
     ) -> None:
         self.transport = transport
         self.group = list(group) if group is not None else list(range(transport.world_size))
@@ -135,6 +136,11 @@ class Communicator:
         self.size = len(self.group)
         self.context = context
         self.cost_model = cost_model or _DEFAULT_COST_MODEL
+        #: Optional :class:`~repro.resilience.integrity.IntegrityContext`
+        #: shared world-wide; wraps every message in a checksummed envelope
+        #: and/or injects the fault plan's silent message corruption.
+        #: Inherited by communicators derived via Split/shrink/Dup.
+        self.integrity = integrity
         self.state: RankState = transport.states[self.group[rank]]
         self._coll_seq = 0  # per-communicator collective sequence for tag isolation
 
@@ -199,6 +205,13 @@ class Communicator:
 
     def _send_raw(self, dest: int, obj: Any, tag: int) -> None:
         nbytes = payload_nbytes(obj)
+        if self.integrity is not None:
+            # Integrity layer: possibly corrupt in transit (fault plan) and,
+            # when verification is on, wrap in a checksummed envelope.  The
+            # byte accounting stays that of the logical payload — the CRC
+            # header is noise next to any tensor.
+            obj = self.integrity.outbound(
+                obj, self._world(self.rank), self._world(dest))
         if hasattr(self.cost_model, "ptp_between"):
             # Modular placement: cost depends on the endpoints' modules.
             cost = self.cost_model.ptp_between(
@@ -232,6 +245,17 @@ class Communicator:
         self.state.comm_time += self.state.sim_time - before
         self.state.bytes_received += msg.nbytes
         self.state.messages_received += 1
+        if self.integrity is not None:
+            from repro.resilience.integrity import Envelope  # hot path: cached
+
+            if isinstance(msg.payload, Envelope):
+                payload, penalty = self.integrity.inbound(msg.payload)
+                msg.payload = payload
+                if penalty > 0.0:
+                    # Detected corruption: charge the retransmission to the
+                    # receiver's simulated clock.
+                    self.state.advance(penalty)
+                    self.state.comm_time += penalty
         return msg
 
     # -- lowercase object API -------------------------------------------------
@@ -455,7 +479,7 @@ class Communicator:
         ctx = base_ctx * 4096 + colors.index(color)
         return Communicator(
             self.transport, new_rank, group=group, context=ctx,
-            cost_model=self.cost_model,
+            cost_model=self.cost_model, integrity=self.integrity,
         )
 
     def shrink(self, dead_ranks: Sequence[int]) -> Optional["Communicator"]:
@@ -483,6 +507,7 @@ class Communicator:
         return Communicator(
             self.transport, self.rank, group=list(self.group),
             context=ctx * 4096 + 4095, cost_model=self.cost_model,
+            integrity=self.integrity,
         )
 
     def with_cost_model(self, cost_model: CommCostModel) -> "Communicator":
@@ -490,6 +515,7 @@ class Communicator:
         clone = Communicator(
             self.transport, self.rank, group=list(self.group),
             context=self.context, cost_model=cost_model,
+            integrity=self.integrity,
         )
         clone._coll_seq = self._coll_seq
         return clone

@@ -36,6 +36,7 @@ def run_spmd(
     cost_model: Optional[CommCostModel] = None,
     rank_args: Optional[Sequence[Sequence[Any]]] = None,
     timeout: Optional[float] = 300.0,
+    integrity: Optional[Any] = None,
 ) -> list[Any]:
     """Execute ``fn(comm, *args)`` on ``world_size`` ranks; return results.
 
@@ -51,6 +52,10 @@ def run_spmd(
         Fabric cost model charged to the simulated clocks.
     timeout:
         Wall-clock safety net per join; ``None`` disables it.
+    integrity:
+        Optional shared :class:`~repro.resilience.integrity.IntegrityContext`
+        installed on every rank's communicator (checksummed envelopes and
+        silent-corruption injection).
     """
     if world_size < 1:
         raise ValueError("world_size must be >= 1")
@@ -62,7 +67,8 @@ def run_spmd(
     errors: list[Optional[SpmdFailure]] = [None] * world_size
 
     def worker(rank: int) -> None:
-        comm = Communicator(transport, rank, cost_model=cost_model)
+        comm = Communicator(transport, rank, cost_model=cost_model,
+                            integrity=integrity)
         call_args = rank_args[rank] if rank_args is not None else args
         try:
             results[rank] = fn(comm, *call_args)

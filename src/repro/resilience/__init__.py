@@ -7,6 +7,12 @@ layer for the simulation:
 
 * :mod:`repro.resilience.faults` — seeded :class:`FaultPlan`s and the
   :class:`FaultInjector` that turns them into simulated events,
+* :mod:`repro.resilience.integrity` — silent-corruption injection and
+  detection: checksummed message envelopes, the ABFT-verified allreduce
+  (:class:`IntegrityConfig`, :class:`CorruptionInjector`) and the
+  injected/detected/undetected reconciliation,
+* :mod:`repro.resilience.drill` — the end-to-end SDC drill behind
+  ``repro drill sdc`` (:func:`run_sdc_drill`),
 * :mod:`repro.resilience.retry` — exponential backoff with deterministic
   jitter (:class:`RetryPolicy`),
 * :mod:`repro.resilience.policy` — checkpoint cadence/placement
@@ -19,11 +25,21 @@ every existing workload produces byte-identical results.
 """
 
 from repro.resilience.faults import (
+    DATA_FAULTS,
     FaultInjector,
     FaultKind,
     FaultPlan,
     FaultPlanError,
     FaultSpec,
+)
+from repro.resilience.integrity import (
+    CorruptionInjector,
+    GradientCorruptionError,
+    IntegrityConfig,
+    IntegrityContext,
+    corruption_totals,
+    publish_undetected,
+    verified_grad_allreduce,
 )
 from repro.resilience.policy import CheckpointPolicy
 from repro.resilience.report import (
@@ -36,11 +52,19 @@ from repro.resilience.report import (
 from repro.resilience.retry import NO_RETRY, RetryPolicy
 
 __all__ = [
+    "DATA_FAULTS",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
     "FaultPlanError",
     "FaultSpec",
+    "CorruptionInjector",
+    "GradientCorruptionError",
+    "IntegrityConfig",
+    "IntegrityContext",
+    "corruption_totals",
+    "publish_undetected",
+    "verified_grad_allreduce",
     "CheckpointPolicy",
     "FailoverEvent",
     "FailureEvent",

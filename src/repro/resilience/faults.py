@@ -20,6 +20,19 @@ Fault classes:
   :class:`~repro.simnet.link.UnreliableLink`),
 * ``RANK_KILL``      — a training rank is lost at a given global step
   (consumed by the elastic trainer, not by the scheduler clock).
+
+Silent-corruption classes (consumed by :mod:`repro.resilience.integrity`,
+never by the scheduler clock — they damage *data*, not availability):
+
+* ``BITFLIP_MESSAGE``  — each message on the fabric is independently
+  corrupted with probability ``magnitude`` (a high-order bit of the
+  payload flips in transit),
+* ``BITFLIP_GRADIENT`` — one rank's gradient contribution is corrupted
+  immediately before the allreduce at training step ``time`` (``node`` is
+  the world rank whose contribution rots),
+* ``CHECKPOINT_ROT``   — the checkpoint written at training step ``time``
+  rots at rest on target ``module`` ("nam" or "pfs"; empty = the
+  manager's preferred target).
 """
 
 from __future__ import annotations
@@ -40,6 +53,21 @@ class FaultKind(str, Enum):
     STRAGGLER = "straggler"
     MESSAGE_DROP = "message-drop"
     RANK_KILL = "rank-kill"
+    BITFLIP_MESSAGE = "bitflip-message"
+    BITFLIP_GRADIENT = "bitflip-gradient"
+    CHECKPOINT_ROT = "checkpoint-rot"
+
+
+#: Fault classes that are not scheduler-clock events: they are consumed by
+#: the elastic trainer, the transport integrity layer or the checkpoint
+#: manager instead of firing on the simulator.
+DATA_FAULTS = frozenset({
+    FaultKind.RANK_KILL,
+    FaultKind.MESSAGE_DROP,
+    FaultKind.BITFLIP_MESSAGE,
+    FaultKind.BITFLIP_GRADIENT,
+    FaultKind.CHECKPOINT_ROT,
+})
 
 
 @dataclass(frozen=True)
@@ -70,6 +98,12 @@ class FaultSpec:
         if self.kind is FaultKind.MESSAGE_DROP \
                 and not (0.0 <= self.magnitude < 1.0):
             raise ValueError("drop probability must be in [0, 1)")
+        if self.kind is FaultKind.BITFLIP_MESSAGE \
+                and not (0.0 < self.magnitude <= 1.0):
+            raise ValueError("bitflip probability must be in (0, 1]")
+        if self.kind is FaultKind.CHECKPOINT_ROT \
+                and self.module not in ("", "nam", "pfs"):
+            raise ValueError("checkpoint rot target must be 'nam' or 'pfs'")
 
 
 class FaultPlanError(ValueError):
@@ -107,6 +141,34 @@ class FaultPlan:
             sorted(int(s.node) for s in self.specs
                    if s.kind is FaultKind.RANK_KILL and int(s.time) == step)
         )
+
+    def gradient_corruptions_at_step(self, step: int) -> tuple[int, ...]:
+        """World ranks whose gradient contribution rots at ``step``."""
+        return tuple(
+            sorted(int(s.node) for s in self.specs
+                   if s.kind is FaultKind.BITFLIP_GRADIENT
+                   and int(s.time) == step)
+        )
+
+    def checkpoint_rots_at_step(self, step: int) -> tuple[FaultSpec, ...]:
+        """CHECKPOINT_ROT specs striking the snapshot written at ``step``."""
+        return tuple(s for s in self.specs
+                     if s.kind is FaultKind.CHECKPOINT_ROT
+                     and int(s.time) == step)
+
+    @property
+    def message_bitflip_probability(self) -> float:
+        """Per-message corruption probability (0 when the plan has none)."""
+        flips = self.of_kind(FaultKind.BITFLIP_MESSAGE)
+        return flips[0].magnitude if flips else 0.0
+
+    @property
+    def has_corruption(self) -> bool:
+        """True when the plan carries any silent-data-corruption fault."""
+        return any(s.kind in (FaultKind.BITFLIP_MESSAGE,
+                              FaultKind.BITFLIP_GRADIENT,
+                              FaultKind.CHECKPOINT_ROT)
+                   for s in self.specs)
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -185,6 +247,42 @@ class FaultPlan:
         return cls(seed=seed, specs=specs)
 
     @classmethod
+    def silent_corruption(
+        cls,
+        seed: int,
+        message_p: float = 0.0,
+        gradient: Optional[dict[int, Iterable[int]]] = None,
+        checkpoint_rot: Optional[Iterable[tuple[int, str]]] = None,
+    ) -> "FaultPlan":
+        """A plan of silent-data-corruption faults.
+
+        * ``message_p`` — per-message bitflip probability on the fabric,
+        * ``gradient`` — ``{step: [world ranks]}`` whose allreduce
+          contribution rots at that step,
+        * ``checkpoint_rot`` — ``(step, target)`` pairs: the snapshot
+          written at ``step`` rots at rest on ``target`` ("nam"/"pfs",
+          "" = the manager's preferred target).
+        """
+        specs: list[FaultSpec] = []
+        if message_p > 0.0:
+            specs.append(FaultSpec(kind=FaultKind.BITFLIP_MESSAGE, time=0.0,
+                                   magnitude=message_p))
+        for step in sorted(gradient or {}):
+            for rank in sorted(gradient[step]):
+                specs.append(FaultSpec(kind=FaultKind.BITFLIP_GRADIENT,
+                                       time=float(step), node=int(rank)))
+        for step, target in sorted(checkpoint_rot or ()):
+            specs.append(FaultSpec(kind=FaultKind.CHECKPOINT_ROT,
+                                   time=float(step), module=target))
+        return cls(seed=seed, specs=tuple(specs))
+
+    def merged(self, other: "FaultPlan") -> "FaultPlan":
+        """This plan plus ``other``'s specs (this plan's seed wins)."""
+        specs = list(self.specs) + list(other.specs)
+        specs.sort(key=lambda s: (s.time, s.kind.value, s.module, s.node))
+        return FaultPlan(seed=self.seed, specs=tuple(specs))
+
+    @classmethod
     def parse(
         cls,
         text: str,
@@ -200,6 +298,7 @@ class FaultPlan:
         * ``straggler=esb:1``   — 1 straggler on module ``esb``,
         * ``degrade=cm:1``      — 1 link-degradation window on ``cm``,
         * ``drop=0.05``         — 5% message drop probability,
+        * ``bitflip=0.01``      — 1% per-message silent-corruption probability,
         * ``horizon=3600``      — fault window in simulated seconds,
         * ``repair=600``        — node repair time in simulated seconds.
 
@@ -210,6 +309,7 @@ class FaultPlan:
         horizon = horizon_s
         repair = 600.0
         drop = 0.0
+        bitflip = 0.0
         counts: dict[FaultKind, list[tuple[str, int]]] = {
             FaultKind.NODE_CRASH: [], FaultKind.STRAGGLER: [],
             FaultKind.LINK_DEGRADE: [],
@@ -232,6 +332,8 @@ class FaultPlan:
                     repair = float(value)
                 elif key == "drop":
                     drop = float(value)
+                elif key == "bitflip":
+                    bitflip = float(value)
                 elif key in kind_names:
                     module, _, count = value.partition(":")
                     counts[kind_names[key]].append(
@@ -276,6 +378,9 @@ class FaultPlan:
         if drop > 0.0:
             specs.append(FaultSpec(kind=FaultKind.MESSAGE_DROP, time=0.0,
                                    duration=horizon, magnitude=drop))
+        if bitflip > 0.0:
+            specs.append(FaultSpec(kind=FaultKind.BITFLIP_MESSAGE, time=0.0,
+                                   duration=horizon, magnitude=bitflip))
         specs.sort(key=lambda s: (s.time, s.kind.value, s.module, s.node))
         return cls(seed=seed, specs=tuple(specs))
 
@@ -307,7 +412,7 @@ class FaultInjector:
         self._armed = True
         n = 0
         for spec in self.plan:
-            if spec.kind in (FaultKind.RANK_KILL, FaultKind.MESSAGE_DROP):
+            if spec.kind in DATA_FAULTS:
                 continue
             evt = sim.timeout(spec.time, value=spec,
                               name=f"fault-{spec.kind.value}")

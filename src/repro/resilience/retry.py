@@ -15,6 +15,7 @@ at the jitter extremes — the property suite sweeps this.
 from __future__ import annotations
 
 import hashlib
+import math
 from dataclasses import dataclass
 
 
@@ -57,12 +58,22 @@ class RetryPolicy:
 
     def should_retry(self, attempt: int) -> bool:
         """True if a job that has failed ``attempt`` times may run again."""
+        if attempt < 0:
+            raise ValueError("attempt count must be non-negative")
         return attempt <= self.max_retries
 
     def delay(self, attempt: int, key: str = "") -> float:
         """Backoff delay (s) before retry number ``attempt`` (1-based)."""
         if attempt < 1:
             raise ValueError("attempt is 1-based")
+        # Compare in log space first: for large attempts the exponential
+        # overflows float range long before min() could cap it, so when
+        # the un-jittered delay already reaches the cap, return the cap
+        # directly (jitter only pushes it further over).
+        log_raw = (math.log(self.base_delay_s)
+                   + (attempt - 1) * math.log(self.backoff_factor))
+        if log_raw >= math.log(self.max_delay_s):
+            return self.max_delay_s
         raw = self.base_delay_s * self.backoff_factor ** (attempt - 1)
         u = _stable_uniform(self.seed, key, attempt)
         return min(raw * (1.0 + self.jitter * u), self.max_delay_s)

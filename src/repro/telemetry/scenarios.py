@@ -51,8 +51,17 @@ class TraceArtifacts:
 
 def _artifacts(scenario: str, seed: int, tracer: telemetry.Tracer,
                registry: telemetry.MetricsRegistry) -> TraceArtifacts:
+    from repro.resilience.integrity import publish_undetected
+
     spans = tracer.spans
+    # Reconcile the corruption ledger before exporting, so every trace's
+    # metrics.prom/summary.txt carries the integrity counters and the
+    # undetected gauge — and an unreconciled run fails like any other
+    # invariant violation.
+    undetected = publish_undetected(registry)
     violations = tuple(registry.gauges_over(0.0, name_contains="invariant"))
+    if undetected > 0:
+        violations += (("integrity_undetected", (), undetected),)
     return TraceArtifacts(
         scenario=scenario,
         seed=seed,
@@ -105,10 +114,17 @@ def trace_training_scenario(seed: int = 0, quick: bool = False
             fault_injector=FaultInjector(plan),
         )
 
-        # 2) The training side: rank kills + NAM-first checkpoint-restart.
+        # 2) The training side: rank kills + silent corruption (a gradient
+        # bitflip and checkpoint rot) + NAM-first checkpoint-restart, so
+        # the trace's metrics expose the integrity counters.
         manager = CheckpointManager(
             nam=NetworkAttachedMemory(capacity_GB=1),
             pfs=ParallelFileSystem("pfs", n_targets=4))
+        train_plan = FaultPlan.rank_kills(seed, {kill_step: [1]}).merged(
+            FaultPlan.silent_corruption(
+                seed,
+                gradient={max(1, n_steps // 4): [2]},
+                checkpoint_rot=[(n_steps - 2, "nam")]))
         run_elastic_training(
             model_factory=lambda: MLP([2, 8, 2], seed=3),
             X=X, Y=Y,
@@ -116,7 +132,7 @@ def trace_training_scenario(seed: int = 0, quick: bool = False
             batch_size=16,
             world_size=world_size,
             seed=seed,
-            fault_plan=FaultPlan.rank_kills(seed, {kill_step: [1]}),
+            fault_plan=train_plan,
             checkpoint_manager=manager,
             checkpoint_policy=CheckpointPolicy(every_steps=4,
                                                replicate=True),

@@ -1,0 +1,104 @@
+"""Edge cases of the retry policy: boundary attempts, jitter bounds, caps.
+
+The headline regression here: ``delay()`` for a huge attempt number used
+to raise ``OverflowError`` (the float exponential blows past 1e308 before
+``min(..., max_delay_s)`` could cap it); it must return the cap instead.
+"""
+
+import pytest
+
+from repro.resilience.retry import NO_RETRY, RetryPolicy
+
+
+class TestShouldRetry:
+    def test_boundary_at_max(self):
+        policy = RetryPolicy(max_retries=3)
+        assert policy.should_retry(3)
+        assert not policy.should_retry(4)
+
+    def test_zero_attempts_always_allowed(self):
+        assert RetryPolicy(max_retries=0).should_retry(0)
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().should_retry(-1)
+
+    def test_no_retry_policy(self):
+        assert not NO_RETRY.should_retry(1)
+        assert NO_RETRY.delays() == []
+
+
+class TestDelayBoundaries:
+    def test_attempt_must_be_one_based(self):
+        policy = RetryPolicy()
+        with pytest.raises(ValueError):
+            policy.delay(0)
+        with pytest.raises(ValueError):
+            policy.delay(-5)
+
+    def test_huge_attempt_returns_cap_not_overflow(self):
+        policy = RetryPolicy()
+        assert policy.delay(10_000) == policy.max_delay_s
+        assert policy.delay(1 << 20) == policy.max_delay_s
+
+    def test_cap_is_exact_at_crossover(self):
+        policy = RetryPolicy(base_delay_s=1.0, backoff_factor=2.0,
+                             jitter=0.0, max_delay_s=1000.0)
+        # 2**9 = 512 < 1000 < 2**10 = 1024.
+        assert policy.delay(10) == 512.0
+        assert policy.delay(11) == 1000.0
+        assert policy.delay(100) == 1000.0
+
+    def test_unit_backoff_factor_never_overflows(self):
+        policy = RetryPolicy(backoff_factor=1.0, jitter=0.0,
+                             base_delay_s=5.0)
+        assert policy.delay(10_000_000) == 5.0
+
+
+class TestJitterBounds:
+    def test_delay_within_jitter_envelope(self):
+        policy = RetryPolicy(max_retries=8, base_delay_s=2.0,
+                             backoff_factor=2.0, jitter=0.25, seed=3)
+        for attempt in range(1, 9):
+            raw = 2.0 * 2.0 ** (attempt - 1)
+            d = policy.delay(attempt, key="job-a")
+            assert raw <= d < raw * 1.25
+            assert d <= policy.max_delay_s
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = RetryPolicy(jitter=0.0, base_delay_s=3.0,
+                             backoff_factor=3.0)
+        assert policy.delays() == [3.0, 9.0, 27.0]
+
+    def test_deterministic_per_seed_and_key(self):
+        a = RetryPolicy(seed=7).delays(key="job")
+        b = RetryPolicy(seed=7).delays(key="job")
+        c = RetryPolicy(seed=8).delays(key="job")
+        d = RetryPolicy(seed=7).delays(key="other")
+        assert a == b
+        assert a != c and a != d
+
+    def test_delays_non_decreasing(self):
+        policy = RetryPolicy(max_retries=12, jitter=0.25, seed=11,
+                             max_delay_s=500.0)
+        schedule = policy.delays(key="j")
+        assert schedule == sorted(schedule)
+        assert len(schedule) == 12
+
+
+class TestValidation:
+    def test_zero_base_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=0.0)
+
+    def test_negative_base_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay_s=-1.0)
+
+    def test_factor_must_cover_jitter(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=1.1, jitter=0.25)
+
+    def test_zero_max_delay_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_delay_s=0.0)
