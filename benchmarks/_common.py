@@ -1,0 +1,94 @@
+"""Shared plumbing for the per-experiment benchmark scripts.
+
+Every ``bench_*.py`` here is a pytest-benchmark module *and* a standalone
+script.  This module holds what both faces share:
+
+* :func:`emit_table` — format/print/persist one experiment table,
+* the common CLI contract: ``--quick`` (reduced workloads, no calibrated
+  timing rounds) and ``--seed`` (workload seed), parsed by
+  :func:`parse_bench_args` and plumbed to test bodies through the
+  ``REPRO_BENCH_QUICK`` / ``REPRO_BENCH_SEED`` environment variables so
+  the same test functions serve the pytest run and the standalone run,
+* :func:`standalone_main` — the shared ``main()`` body: parse the common
+  flags, export them, and run this one module under pytest (quick mode
+  disables pytest-benchmark calibration, so every kernel runs once).
+
+Inside a test body, :func:`bench_quick` and :func:`bench_seed` read the
+plumbed values; both default to the full-fidelity configuration when the
+module runs under plain pytest with no flags.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import sys
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+
+#: Environment plumbing between the CLI face and the test bodies.
+QUICK_ENV = "REPRO_BENCH_QUICK"
+SEED_ENV = "REPRO_BENCH_SEED"
+
+
+def emit_table(title: str, header: list[str], rows: list[list]) -> str:
+    """Format, print and persist one experiment table."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+              for i, h in enumerate(header)]
+    lines = [title, "-" * len(title)]
+    lines.append("".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        lines.append("".join(str(c).rjust(w) for c, w in zip(row, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    with RESULTS_PATH.open("a") as fh:
+        fh.write(text + "\n\n")
+    return text
+
+
+def bench_quick() -> bool:
+    """True when the run asked for reduced workloads (``--quick``)."""
+    return os.environ.get(QUICK_ENV, "0") == "1"
+
+
+def bench_seed(default: int = 0) -> int:
+    """The plumbed workload seed (``--seed``), or ``default``."""
+    try:
+        return int(os.environ.get(SEED_ENV, ""))
+    except ValueError:
+        return default
+
+
+def parse_bench_args(argv: list[str] | None = None) -> argparse.Namespace:
+    """Parse the flags every bench script honors."""
+    parser = argparse.ArgumentParser(
+        description="standalone benchmark run (pytest-free smoke mode)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced workloads, single uncalibrated runs")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload seed (default 0)")
+    return parser.parse_args(argv if argv is not None else sys.argv[1:])
+
+
+def export_bench_env(quick: bool, seed: int) -> None:
+    """Publish the parsed flags for :func:`bench_quick`/:func:`bench_seed`."""
+    os.environ[QUICK_ENV] = "1" if quick else "0"
+    os.environ[SEED_ENV] = str(seed)
+
+
+def standalone_main(module_file: str, argv: list[str] | None = None) -> int:
+    """Shared ``main()`` for bench modules: run *this* module under pytest.
+
+    ``--quick`` additionally passes ``--benchmark-disable`` so the
+    ``benchmark`` fixture calls each kernel exactly once instead of
+    running calibrated timing rounds.
+    """
+    ns = parse_bench_args(argv)
+    export_bench_env(ns.quick, ns.seed)
+    import pytest
+
+    args = [str(module_file), "-q", "-p", "no:cacheprovider"]
+    if ns.quick:
+        args.append("--benchmark-disable")
+    return int(pytest.main(args))

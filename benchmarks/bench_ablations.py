@@ -241,3 +241,15 @@ def test_ablation_fair_share_policy(benchmark):
                ["policy", "health-0 wait s", "makespan s"], rows)
     benchmark.extra_info["fairshare"] = rows
     assert fair.wait_times["health-0"] < fcfs.wait_times["health-0"]
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -116,3 +116,15 @@ def test_free_tier_infeasibility(benchmark):
     feasible, raised = benchmark(attempt)
     assert not feasible and raised
     benchmark.extra_info["free_tier_blocked"] = True
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -116,3 +116,15 @@ def test_fig2_matchmaking_vs_first_fit(benchmark):
                ["policy", "makespan h", "energy kWh"], rows)
     benchmark.extra_info["ablation"] = rows
     assert match.makespan < naive.makespan
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

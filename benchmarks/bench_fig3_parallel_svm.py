@@ -87,3 +87,15 @@ def test_fig3_cascade_communicates_only_support_vectors(benchmark, rs_problem):
                 ["support vectors exchanged", result.total_sv_exchanged],
                 ["fraction", f"{frac:.2%}"]])
     assert frac < 0.5
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -104,3 +104,15 @@ def test_fig3_oversized_problem_rejected(benchmark, rs_binary):
     rejected = benchmark(attempt)
     assert rejected
     benchmark.extra_info["rejected_at"] = len(ytr)
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -23,7 +23,7 @@ from repro.ml.metrics import accuracy
 from repro.ml.models import resnet_small
 from repro.mpi import run_spmd
 
-from conftest import emit_table
+from conftest import bench_quick, emit_table
 
 GPU_COUNTS = [1, 2, 4, 8, 16, 32, 64, 96, 128]
 
@@ -109,10 +109,13 @@ class TestFunctionalDistributedTraining:
         """'distributed DL training can significantly reduce the training
         time without affecting prediction accuracy' — real training runs."""
         Xtr, ytr, Xte, yte = data
+        # Quick smoke mode trains fewer epochs, so the accuracy floor is
+        # proportionally looser; the invariance *spread* bound stays.
+        epochs = 10 if bench_quick() else 25
 
         def accuracy_for(ws):
             def fn(comm):
-                model = self._train(comm, Xtr, ytr)
+                model = self._train(comm, Xtr, ytr, epochs=epochs)
                 return accuracy(model.predict(Xte), yte)
 
             return run_spmd(fn, ws, timeout=600)[0]
@@ -126,5 +129,17 @@ class TestFunctionalDistributedTraining:
         benchmark.extra_info["accuracies"] = rows
 
         chance = 1.0 / self.N_CLASSES
-        assert min(accs.values()) > chance + 0.3
+        assert min(accs.values()) > chance + (0.1 if bench_quick() else 0.3)
         assert max(accs.values()) - min(accs.values()) < 0.15
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

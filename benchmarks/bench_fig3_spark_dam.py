@@ -123,3 +123,15 @@ def test_fig3_mllib_classifiers_on_rdd(benchmark, spectra):
     benchmark.extra_info["mllib"] = rows
     assert lr_model.score(X, y) > 0.85
     assert forest.score(X, y) > 0.85
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -138,3 +138,15 @@ def test_fig4_berlin_definition_monitoring(benchmark, cohort):
 
     severities = {sev for _, ards, _, sev in results if ards}
     assert severities & {"moderate", "severe"}
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

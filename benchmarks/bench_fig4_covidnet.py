@@ -18,7 +18,7 @@ from repro.ml import Adam, Tensor, cross_entropy, train_test_split
 from repro.ml.metrics import accuracy, precision_recall_f1
 from repro.ml.models import CovidNet
 
-from conftest import emit_table
+from conftest import bench_quick, emit_table
 
 
 @pytest.fixture(scope="module")
@@ -29,7 +29,11 @@ def covidx():
     return gen, train_test_split(X, y, test_fraction=0.25, seed=0)
 
 
-def _train(Xtr, ytr, epochs=25):
+def _train(Xtr, ytr, epochs=None):
+    if epochs is None:
+        # Quick smoke mode trains a third of the epochs; the assertions
+        # below scale their accuracy floors to match.
+        epochs = 14 if bench_quick() else 25
     model = CovidNet(base_width=8, n_blocks=2, seed=0)
     opt = Adam(model.parameters(), lr=3e-3)
     idx = np.arange(len(Xtr))
@@ -64,8 +68,9 @@ def test_fig4_covidnet_detection(benchmark, covidx, trained):
     emit_table("E7/Fig. 4 B — COVID-Net on synthetic COVIDx",
                ["class", "precision", "recall", "F1"], rows)
     benchmark.extra_info["detection"] = rows
-    assert accuracy(pred, yte) > 0.8
-    assert scores["recall"][2] > 0.7       # COVID sensitivity
+    quick = bench_quick()
+    assert accuracy(pred, yte) > (0.6 if quick else 0.8)
+    assert scores["recall"][2] > (0.5 if quick else 0.7)  # COVID sensitivity
 
 
 def test_fig4_external_generalisation(benchmark, covidx, trained):
@@ -80,7 +85,7 @@ def test_fig4_external_generalisation(benchmark, covidx, trained):
     emit_table("E7 — generalisation to the unseen dataset",
                ["evaluation set", "accuracy"], rows)
     benchmark.extra_info["generalisation"] = rows
-    assert acc_ext > 0.55
+    assert acc_ext > (0.45 if bench_quick() else 0.55)
 
 
 def test_fig4_a100_vs_v100_training_time(benchmark, trained):
@@ -118,11 +123,23 @@ def test_fig4_dataset_growth_retraining(benchmark, covidx):
     y_grown = np.concatenate([ytr, yn])
 
     model = benchmark.pedantic(_train, args=(X_grown, y_grown),
-                               kwargs={"epochs": 25}, rounds=1, iterations=1)
+                               rounds=1, iterations=1)
     acc = accuracy(model.predict(Xte), yte)
     benchmark.extra_info["grown_dataset_accuracy"] = acc
     emit_table("E7 — retraining after dataset extension",
                ["training set", "test accuracy"],
                [[f"{len(ytr)} images", ""],
                 [f"{len(y_grown)} images (extended)", f"{acc:.3f}"]])
-    assert acc > 0.75
+    assert acc > (0.55 if bench_quick() else 0.75)
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -110,3 +110,15 @@ def test_software_algorithm_selection_backdrop(benchmark):
     benchmark.extra_info["selection"] = rows
     assert choices[256] == "recursive-doubling"
     assert choices[64 << 20] in ("ring", "rabenseifner")
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

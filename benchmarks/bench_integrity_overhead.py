@@ -173,15 +173,22 @@ def measure_determinism(quick: bool = True):
 
 
 def test_training_overhead(benchmark):
+    from conftest import bench_quick
+
     # pedantic: measure_* already repeats and takes the best run —
     # wrapping it in calibration rounds would just multiply the wall time.
+    quick = bench_quick()
     base, full, overhead, rows = benchmark.pedantic(
-        measure_training_overhead, rounds=1, iterations=1)
+        measure_training_overhead,
+        args=(4, 3) if quick else (6, 5), rounds=1, iterations=1)
+    # The quick workload is too small to amortise measurement noise, so
+    # its budget is doubled; the calibrated full run keeps the real one.
+    budget = 2 * OVERHEAD_BUDGET if quick else OVERHEAD_BUDGET
     emit_table("E16 — integrity overhead (elastic training, "
                f"world {WORLD_SIZE}, batch {BATCH_SIZE})",
                OVERHEAD_HEADER, rows)
     benchmark.extra_info["overhead"] = overhead
-    assert overhead < OVERHEAD_BUDGET
+    assert overhead < budget
 
 
 def test_restore_overhead(benchmark):
@@ -203,7 +210,10 @@ def test_drill_determinism(benchmark):
 
 
 def main(argv=None):
-    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    from _common import export_bench_env, parse_bench_args
+    ns = parse_bench_args(argv)
+    export_bench_env(ns.quick, ns.seed)
+    quick = ns.quick
     steps, repeats = (4, 3) if quick else (6, 5)
     base, full, overhead, rows = measure_training_overhead(steps, repeats)
     emit_table("E16 — integrity overhead (elastic training, "

@@ -111,3 +111,15 @@ def test_coallocation_vs_serialised_phases(benchmark):
     assert co_report.makespan < serial_report.makespan
     modules = {a.module_key for a in co_report.allocations}
     assert modules == {"esb", "dam"}
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

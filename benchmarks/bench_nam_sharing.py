@@ -82,3 +82,15 @@ def test_sssm_striping_sweep(benchmark):
     times = [float(r[1]) for r in rows]
     assert times == sorted(times, reverse=True)
     assert times[0] / times[-1] > 8
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -68,3 +68,15 @@ def test_capacity_planning_for_deadline(benchmark):
     nodes = [int(r[1]) for r in rows]
     assert nodes == sorted(nodes)               # capacity grows with rate
     assert all(float(r[2]) <= deadline for r in rows)
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -142,7 +142,10 @@ def test_autoscale_beats_fixed(benchmark):
 
 
 def main(argv=None):
-    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    from _common import export_bench_env, parse_bench_args
+    ns = parse_bench_args(argv)
+    export_bench_env(ns.quick, ns.seed)
+    quick = ns.quick
     if quick:
         rates, replicas, duration = (60.0, 240.0), (1, 4), 10.0
     else:

@@ -81,3 +81,15 @@ def test_federation_construction(benchmark):
         ("node", 0), ("node", 1), 1e9)
     inter = deep.inter_module_transfer_time("cm", "dam", 1e9)
     assert inter > intra
+
+
+def main(argv=None):
+    """Standalone smoke run — common flags live in benchmarks/_common.py."""
+    from _common import standalone_main
+    return standalone_main(__file__, argv)
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -120,7 +120,10 @@ def test_artifact_determinism(benchmark):
 
 
 def main(argv=None):
-    quick = "--quick" in (argv if argv is not None else sys.argv[1:])
+    from _common import export_bench_env, parse_bench_args
+    ns = parse_bench_args(argv)
+    export_bench_env(ns.quick, ns.seed)
+    quick = ns.quick
     duration, repeats = (8.0, 5) if quick else (20.0, 7)
     base, full, overhead, rows = measure_overhead(duration, repeats)
     emit_table("E15 — telemetry capture overhead (serving scenario)",

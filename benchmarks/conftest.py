@@ -7,16 +7,23 @@ experiment index).  Conventions:
 * the regenerated rows/series are attached to ``benchmark.extra_info`` (so
   ``--benchmark-json`` exports them) **and** echoed through
   :func:`emit_table` (visible with ``-s``; always appended to
-  ``benchmarks/results.txt``).
+  ``benchmarks/results.txt``),
+* workload knobs honour the common ``--quick``/``--seed`` contract via
+  :func:`_common.bench_quick` / :func:`_common.bench_seed` — see
+  ``benchmarks/_common.py``, which also provides each module's
+  standalone ``main()``.
 """
 
 from __future__ import annotations
 
-import pathlib
-
 import pytest
 
-RESULTS_PATH = pathlib.Path(__file__).parent / "results.txt"
+from _common import (  # noqa: F401 — shared namespace for bench modules
+    RESULTS_PATH,
+    bench_quick,
+    bench_seed,
+    emit_table,
+)
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -24,18 +31,3 @@ def _fresh_results_file():
     """One results.txt per bench session."""
     RESULTS_PATH.write_text("")
     yield
-
-
-def emit_table(title: str, header: list[str], rows: list[list]) -> str:
-    """Format, print and persist one experiment table."""
-    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
-              for i, h in enumerate(header)]
-    lines = [title, "-" * len(title)]
-    lines.append("".join(str(h).rjust(w) for h, w in zip(header, widths)))
-    for row in rows:
-        lines.append("".join(str(c).rjust(w) for c, w in zip(row, widths)))
-    text = "\n".join(lines)
-    print("\n" + text)
-    with RESULTS_PATH.open("a") as fh:
-        fh.write(text + "\n\n")
-    return text

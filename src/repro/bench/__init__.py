@@ -1,0 +1,63 @@
+"""Perf-regression harness: ``repro bench`` → deterministic ``BENCH_*.json``.
+
+The quantitative backbone for every speed claim the repo makes (ROADMAP
+item 4).  See :mod:`repro.bench.schema` for the artifact contract,
+:mod:`repro.bench.timing` for the measurement discipline and
+:mod:`repro.bench.cases` for what is measured.
+"""
+
+from repro.bench.registry import (
+    BenchCase,
+    Budget,
+    CaseRun,
+    all_cases,
+    areas,
+    bench_case,
+    cases_for,
+)
+from repro.bench.schema import (
+    CORE_AREAS,
+    SCHEMA_ID,
+    BenchSchemaError,
+    dumps_canonical,
+    env_fingerprint,
+    loads_validated,
+    validate_artifact,
+)
+from repro.bench.timing import (
+    FULL_POLICY,
+    QUICK_POLICY,
+    FakeClock,
+    TimingError,
+    TimingPolicy,
+    TimingResult,
+    measure_interleaved,
+    reject_outliers,
+    summarize,
+)
+
+__all__ = [
+    "BenchCase",
+    "Budget",
+    "CaseRun",
+    "all_cases",
+    "areas",
+    "bench_case",
+    "cases_for",
+    "CORE_AREAS",
+    "SCHEMA_ID",
+    "BenchSchemaError",
+    "dumps_canonical",
+    "env_fingerprint",
+    "loads_validated",
+    "validate_artifact",
+    "FULL_POLICY",
+    "QUICK_POLICY",
+    "FakeClock",
+    "TimingError",
+    "TimingPolicy",
+    "TimingResult",
+    "measure_interleaved",
+    "reject_outliers",
+    "summarize",
+]

@@ -1,0 +1,401 @@
+"""The registered micro-benchmark cases behind ``repro bench``.
+
+Four core areas mirror the substrate layers the repo's perf story rests
+on (ROADMAP item 4):
+
+* ``events``   — DES kernel throughput (`repro.simnet.events`),
+* ``mpi``      — point-to-point / collective message cost and the
+  checksummed-envelope tax (`repro.mpi`, `repro.resilience.integrity`),
+* ``training`` — fused-gradient allreduce step (`repro.distributed`),
+* ``serving``  — end-to-end online-serving latency tail (`repro.serving`).
+
+Every case reports **deterministic** metrics (simulated time, operation
+counters, rates over simulated seconds) plus digests that pin functional
+outputs bit-for-bit, and separately hands the runner wall-clock
+candidates for the interleaved min-of-K timer.  Keeping the two apart is
+what makes ``BENCH_<area>.json`` byte-identical across same-seed runs
+while still letting CI watch real speed through the timing companion.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any
+
+import numpy as np
+
+from repro.bench.registry import Budget, CaseRun, bench_case
+
+# ---------------------------------------------------------------------------
+# digests
+# ---------------------------------------------------------------------------
+
+
+def stable_digest(*parts: Any) -> str:
+    """Short hex digest of heterogeneous values, stable across runs.
+
+    Arrays hash dtype/shape/bytes; floats hash their shortest repr (the
+    same rendering JSON uses), so a digest match implies the JSON artifact
+    would render the values identically too.
+    """
+    h = hashlib.blake2b(digest_size=8)
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            h.update(f"nd:{part.dtype.str}:{part.shape}:".encode())
+            h.update(part.tobytes())
+        elif isinstance(part, (list, tuple)):
+            h.update(b"seq:")
+            h.update(":".join(repr(float(x)) if isinstance(x, float)
+                              else repr(x) for x in part).encode())
+        elif isinstance(part, bytes):
+            h.update(part)
+        else:
+            h.update(repr(part).encode())
+        h.update(b"|")
+    return h.hexdigest()
+
+
+def _round6(value: float) -> float:
+    """Stabilize derived ratios: 6 significant-ish decimals is plenty for
+    regression tracking and keeps artifacts readable."""
+    return float(f"{value:.6g}")
+
+
+# ---------------------------------------------------------------------------
+# events — DES kernel
+# ---------------------------------------------------------------------------
+
+
+def _des_workload(n_procs: int, n_hops: int, seed: int):
+    """A self-driving event soup: processes hopping through timeouts and
+    contending on a shared resource — the scheduler/serving usage shape."""
+    from repro.simnet.events import Resource, Simulator
+
+    sim = Simulator()
+    res = Resource(sim, capacity=max(2, n_procs // 8), name="gate")
+    rng = np.random.default_rng(seed)
+    delays = rng.uniform(0.1, 2.0, size=(n_procs, n_hops))
+    trace: list[float] = []
+
+    def worker(idx: int):
+        for hop in range(n_hops):
+            yield sim.timeout(float(delays[idx, hop]))
+            grant = res.acquire()
+            yield grant
+            yield sim.timeout(0.05)
+            res.release()
+        trace.append(sim.now)
+
+    for i in range(n_procs):
+        sim.process(worker(i), name=f"w{i}")
+    sim.run()
+    return sim, trace
+
+
+@bench_case(
+    "des_event_throughput", area="events",
+    budgets={
+        "events_processed": Budget("lower", 0.10),
+        "sim_rate_events_per_s": Budget("higher", 0.10),
+    },
+    description="DES kernel: timer + resource handoff event soup",
+)
+def des_event_throughput(quick: bool, seed: int) -> CaseRun:
+    n_procs, n_hops = (48, 24) if quick else (256, 64)
+    sim, trace = _des_workload(n_procs, n_hops, seed)
+    metrics = {
+        "events_processed": float(sim.events_processed),
+        "final_sim_time_s": _round6(sim.now),
+        "sim_rate_events_per_s": _round6(sim.events_processed / sim.now),
+    }
+    digests = {"completion_trace": stable_digest(trace, sim.now)}
+    return CaseRun(
+        metrics=metrics, digests=digests,
+        wall_candidates={
+            "event_loop": lambda: _des_workload(n_procs, n_hops, seed)},
+        wall_ops={"event_loop": sim.events_processed},
+    )
+
+
+# ---------------------------------------------------------------------------
+# mpi — message rate and the envelope tax
+# ---------------------------------------------------------------------------
+
+
+def _pingpong(rounds: int, payload_words: int, seed: int, integrity=None):
+    """2-rank ping-pong; returns (rank-0 final buffer, per-rank states).
+
+    Built on a raw :class:`~repro.mpi.transport.Transport` (rather than
+    :func:`~repro.mpi.runtime.run_spmd`) so the per-rank counters survive
+    for the deterministic metrics.
+    """
+    import threading
+
+    from repro.mpi.comm import Communicator
+    from repro.mpi.transport import Transport
+
+    base = np.arange(payload_words, dtype=np.float64) + float(seed)
+    transport = Transport(2)
+    results: list[Any] = [None, None]
+
+    def worker(rank: int) -> None:
+        comm = Communicator(transport, rank, integrity=integrity)
+        buf = base.copy()
+        if rank == 0:
+            for _ in range(rounds):
+                comm.send(buf, dest=1, tag=1)
+                buf = comm.recv(source=1, tag=2)
+            results[0] = buf
+        else:
+            for _ in range(rounds):
+                got = comm.recv(source=0, tag=1)
+                comm.send(got + 1.0, dest=0, tag=2)
+
+    threads = [threading.Thread(target=worker, args=(r,), daemon=True)
+               for r in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    return results[0], transport.states
+
+
+@bench_case(
+    "p2p_message_rate", area="mpi",
+    budgets={
+        "sim_time_s": Budget("lower", 0.15),
+        "sim_msgs_per_s": Budget("higher", 0.15),
+    },
+    description="2-rank ping-pong over the mailbox transport",
+)
+def p2p_message_rate(quick: bool, seed: int) -> CaseRun:
+    rounds, words = (120, 256) if quick else (1500, 256)
+    final, states = _pingpong(rounds, words, seed)
+    msgs = sum(s.messages_sent for s in states)
+    sim_t = max(s.sim_time for s in states)
+    metrics = {
+        "messages_total": float(msgs),
+        "bytes_total": float(sum(s.bytes_sent for s in states)),
+        "sim_time_s": _round6(sim_t),
+        "sim_msgs_per_s": _round6(msgs / sim_t),
+    }
+    return CaseRun(
+        metrics=metrics,
+        digests={"final_payload": stable_digest(final)},
+        wall_candidates={
+            "pingpong": lambda: _pingpong(rounds, words, seed)},
+        wall_ops={"pingpong": 2 * rounds},
+    )
+
+
+@bench_case(
+    "envelope_overhead", area="mpi",
+    budgets={
+        "checksums_per_message": Budget("lower", 0.0),
+        "sim_time_s": Budget("lower", 0.15),
+    },
+    description="checksummed-envelope tax on the p2p path (verify on, "
+                "no active corruption)",
+)
+def envelope_overhead(quick: bool, seed: int) -> CaseRun:
+    from repro.resilience.integrity import IntegrityConfig, IntegrityContext
+
+    rounds, words = (120, 1024) if quick else (1200, 1024)
+
+    def ctx():
+        return IntegrityContext(config=IntegrityConfig())
+
+    final, states = _pingpong(rounds, words, seed, integrity=ctx())
+    msgs = sum(s.messages_sent for s in states)
+    checksums = sum(s.envelope_checksums for s in states)
+    fastpath = sum(s.envelope_fastpath for s in states)
+    sim_t = max(s.sim_time for s in states)
+    metrics = {
+        "messages_total": float(msgs),
+        "envelope_checksums": float(checksums),
+        "envelope_fastpath": float(fastpath),
+        "checksums_per_message": _round6(checksums / msgs),
+        "sim_time_s": _round6(sim_t),
+    }
+    return CaseRun(
+        metrics=metrics,
+        digests={"final_payload": stable_digest(final)},
+        wall_candidates={
+            "verify_on": lambda: _pingpong(rounds, words, seed,
+                                           integrity=ctx()),
+            "verify_off": lambda: _pingpong(rounds, words, seed),
+        },
+        wall_ops={"verify_on": 2 * rounds, "verify_off": 2 * rounds},
+    )
+
+
+def _allreduce_workload(iters: int, size: int, world: int, seed: int):
+    from repro.mpi.runtime import run_spmd
+
+    def fn(comm):
+        rng = np.random.default_rng([seed, comm.rank])
+        acc = None
+        for _ in range(iters):
+            local = rng.standard_normal(size)
+            out = comm.allreduce(local)
+            acc = out if acc is None else acc + out
+        return acc, comm.sim_time, comm.state.bytes_sent
+
+    return run_spmd(fn, world)
+
+
+@bench_case(
+    "ring_allreduce_rate", area="mpi",
+    budgets={
+        "sim_time_s": Budget("lower", 0.15),
+    },
+    description="4-rank ring allreduce of a fused-size buffer",
+)
+def ring_allreduce_rate(quick: bool, seed: int) -> CaseRun:
+    iters, size, world = (8, 8192, 4) if quick else (40, 32768, 4)
+    results = _allreduce_workload(iters, size, world, seed)
+    accs = [r[0] for r in results]
+    sim_t = max(r[1] for r in results)
+    metrics = {
+        "sim_time_s": _round6(sim_t),
+        "bytes_sent_total": float(sum(r[2] for r in results)),
+        "sim_allreduces_per_s": _round6(iters / sim_t),
+    }
+    return CaseRun(
+        metrics=metrics,
+        digests={"reduced": stable_digest(accs[0])},
+        wall_candidates={
+            "allreduce": lambda: _allreduce_workload(iters, size, world,
+                                                     seed)},
+        wall_ops={"allreduce": iters},
+    )
+
+
+# ---------------------------------------------------------------------------
+# training — fused-gradient allreduce step
+# ---------------------------------------------------------------------------
+
+
+def _training_workload(steps: int, world: int, seed: int):
+    from repro.distributed.horovod import (DistributedOptimizer,
+                                           broadcast_parameters)
+    from repro.ml.losses import cross_entropy
+    from repro.ml.models import MLP
+    from repro.ml.optim import SGD
+    from repro.ml.tensor import Tensor
+    from repro.mpi.runtime import run_spmd
+
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((64, 24))
+    y = rng.integers(0, 4, size=64)
+
+    def fn(comm):
+        model = MLP([24, 48, 4], seed=seed)
+        broadcast_parameters(model, comm)
+        opt = DistributedOptimizer(SGD(model.parameters(), lr=0.05), comm)
+        losses = []
+        for step in range(steps):
+            lo = (step * 16) % 48
+            shard = slice(lo + comm.rank * 4, lo + (comm.rank + 1) * 4)
+            loss = cross_entropy(model(Tensor(X[shard])), y[shard])
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(float(loss.item()))
+        state = model.state_dict()
+        return {
+            "losses": losses,
+            "weights": np.concatenate([state[k].ravel()
+                                       for k in sorted(state)]),
+            "sim_time": comm.sim_time,
+            "bytes": opt.bytes_communicated,
+            "calls": opt.allreduce_calls,
+            "fusion_allocs": opt.fusion_allocs,
+            "fusion_reuses": opt.fusion_reuses,
+        }
+
+    return run_spmd(fn, world)
+
+
+@bench_case(
+    "fused_allreduce_step", area="training",
+    budgets={
+        "fusion_allocs_per_step": Budget("lower", 0.0),
+        "sim_time_s": Budget("lower", 0.15),
+        "bytes_per_step": Budget("lower", 0.05),
+    },
+    description="data-parallel MLP steps through the fused-buffer "
+                "gradient allreduce",
+)
+def fused_allreduce_step(quick: bool, seed: int) -> CaseRun:
+    steps, world = (12, 4) if quick else (48, 4)
+    results = _training_workload(steps, world, seed)
+    r0 = results[0]
+    metrics = {
+        "steps": float(steps),
+        "sim_time_s": _round6(max(r["sim_time"] for r in results)),
+        "bytes_per_step": _round6(r0["bytes"] / steps),
+        "allreduce_calls": float(r0["calls"]),
+        "fusion_allocs_per_step": _round6(r0["fusion_allocs"] / steps),
+        "fusion_reuses_per_step": _round6(r0["fusion_reuses"] / steps),
+    }
+    digests = {
+        "loss_trajectory": stable_digest(r0["losses"]),
+        "final_weights": stable_digest(*(r["weights"] for r in results)),
+    }
+    return CaseRun(
+        metrics=metrics, digests=digests,
+        wall_candidates={
+            "train_steps": lambda: _training_workload(steps, world, seed)},
+        wall_ops={"train_steps": steps},
+    )
+
+
+# ---------------------------------------------------------------------------
+# serving — latency tail of the online plane
+# ---------------------------------------------------------------------------
+
+
+def _serving_workload(quick: bool, seed: int):
+    from repro.serving.engine import ServingConfig, simulate_serving
+    from repro.serving.request import TraceConfig
+
+    config = ServingConfig(
+        trace=TraceConfig(rate_per_s=80.0,
+                          duration_s=6.0 if quick else 30.0,
+                          samples_per_request=4, seed=seed,
+                          key_universe=1 << 16),
+        initial_replicas=2,
+    )
+    return simulate_serving(config)
+
+
+@bench_case(
+    "serving_latency_tail", area="serving",
+    budgets={
+        "p99_s": Budget("lower", 0.25),
+        "completed": Budget("higher", 0.05),
+    },
+    description="online serving: simulated latency tail under a Poisson "
+                "arrival trace",
+)
+def serving_latency_tail(quick: bool, seed: int) -> CaseRun:
+    report = _serving_workload(quick, seed)
+    summary = report.metrics.latency_summary()
+    metrics = {
+        "admitted": float(report.metrics.admitted),
+        "completed": float(report.metrics.completed),
+        "p50_s": _round6(summary.p50_s),
+        "p99_s": _round6(summary.p99_s),
+    }
+    return CaseRun(
+        metrics=metrics,
+        digests={"report": stable_digest(report.to_text())},
+        wall_candidates={
+            "serve": lambda: _serving_workload(quick, seed)},
+        wall_ops={"serve": max(1, report.metrics.completed)},
+    )
+
+
+def ensure_cases_loaded() -> None:
+    """Importing this module registers everything; hook for the runner."""

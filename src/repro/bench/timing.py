@@ -1,0 +1,181 @@
+"""Wall-clock timing engine for the perf-regression harness.
+
+The measurement discipline mirrors what the telemetry/integrity overhead
+benches already do by hand, made reusable and unit-testable:
+
+* **interleaved rounds** — all candidates run once per round in a fixed
+  order (a, b, c, a, b, c, ...), so slow drift in machine load (thermal
+  throttle, a background indexer) contaminates every candidate equally
+  instead of biasing whichever ran last,
+* **warmup discard** — the first ``warmup`` rounds are executed but never
+  recorded; they absorb import costs, allocator growth and cache warming,
+* **min-of-K** — the summary statistic is the *minimum* over recorded
+  rounds: scheduler preemption and GC pauses are strictly additive noise,
+  so the fastest observation is the least-contaminated estimate of the
+  intrinsic cost,
+* **outlier rejection** — samples beyond ``outlier_factor`` x the median
+  are dropped before the secondary statistics (median/mean) are computed,
+  and the number dropped is reported, so a wildly contended run is visible
+  in the artifact instead of silently skewing it.
+
+The clock is injectable (``clock=time.perf_counter`` by default), which is
+what lets the test suite drive the whole policy with a fake clock and zero
+wall-clock flakiness.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+
+class TimingError(ValueError):
+    """Raised for invalid timing policies (e.g. zero measured rounds)."""
+
+
+@dataclass(frozen=True)
+class TimingPolicy:
+    """How a set of candidate callables is measured.
+
+    ``rounds`` counts the *recorded* rounds; ``warmup`` rounds run before
+    them and are discarded.  ``outlier_factor`` is the median multiple
+    beyond which a sample is treated as contaminated.  ``collect_gc``
+    forces a collection before every timed call so allocator state from
+    the previous candidate is not charged to the next one.
+    """
+
+    rounds: int = 5
+    warmup: int = 1
+    outlier_factor: float = 4.0
+    collect_gc: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise TimingError("need at least one measured round")
+        if self.warmup < 0:
+            raise TimingError("warmup cannot be negative")
+        if self.outlier_factor <= 1.0:
+            raise TimingError("outlier_factor must exceed 1.0")
+
+
+QUICK_POLICY = TimingPolicy(rounds=3, warmup=1)
+FULL_POLICY = TimingPolicy(rounds=7, warmup=2)
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """The measured cost of one candidate."""
+
+    name: str
+    best_s: float                 #: min over kept samples — the headline
+    median_s: float
+    mean_s: float
+    samples: tuple[float, ...]    #: every recorded (post-warmup) sample
+    outliers_dropped: int
+
+    @property
+    def ops_per_s(self) -> float:
+        return 1.0 / self.best_s if self.best_s > 0 else float("inf")
+
+    def scaled(self, n_ops: int) -> float:
+        """Best per-operation seconds when one sample covers ``n_ops``."""
+        if n_ops < 1:
+            raise TimingError("n_ops must be positive")
+        return self.best_s / n_ops
+
+
+def _median(xs: Sequence[float]) -> float:
+    s = sorted(xs)
+    mid = len(s) // 2
+    if len(s) % 2:
+        return s[mid]
+    return 0.5 * (s[mid - 1] + s[mid])
+
+
+def reject_outliers(samples: Sequence[float], factor: float
+                    ) -> tuple[list[float], int]:
+    """Drop samples beyond ``factor`` x median; returns (kept, n_dropped).
+
+    The median itself is robust to the outliers being rejected, and the
+    minimum can never be rejected (it is <= median < cutoff), so the
+    headline min-of-K statistic is unaffected by this filter — it only
+    cleans up the secondary median/mean columns.
+    """
+    if not samples:
+        return [], 0
+    cutoff = _median(samples) * factor
+    kept = [s for s in samples if s <= cutoff]
+    return kept, len(samples) - len(kept)
+
+
+def summarize(name: str, samples: Sequence[float],
+              policy: TimingPolicy) -> TimingResult:
+    """Fold raw recorded samples into a :class:`TimingResult`."""
+    if not samples:
+        raise TimingError(f"no samples recorded for {name!r}")
+    kept, dropped = reject_outliers(samples, policy.outlier_factor)
+    return TimingResult(
+        name=name,
+        best_s=min(samples),
+        median_s=_median(kept),
+        mean_s=sum(kept) / len(kept),
+        samples=tuple(samples),
+        outliers_dropped=dropped,
+    )
+
+
+def measure_interleaved(
+    candidates: Mapping[str, Callable[[], object]],
+    policy: Optional[TimingPolicy] = None,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict[str, TimingResult]:
+    """Interleaved min-of-K measurement of every candidate callable.
+
+    Each round runs every candidate once, in the mapping's iteration
+    order; the first ``policy.warmup`` rounds are discarded.  Returns one
+    :class:`TimingResult` per candidate, keyed by name.
+    """
+    if not candidates:
+        raise TimingError("need at least one candidate")
+    policy = policy or TimingPolicy()
+    recorded: dict[str, list[float]] = {name: [] for name in candidates}
+    for round_no in range(policy.warmup + policy.rounds):
+        for name, fn in candidates.items():
+            if policy.collect_gc:
+                gc.collect()
+            t0 = clock()
+            fn()
+            dt = clock() - t0
+            if round_no >= policy.warmup:
+                recorded[name].append(dt)
+    return {name: summarize(name, samples, policy)
+            for name, samples in recorded.items()}
+
+
+@dataclass
+class FakeClock:
+    """Deterministic clock for testing timing logic without wall time.
+
+    ``script`` holds the durations successive ``(start, stop)`` pairs
+    should observe; each timed call consumes one entry (cycling when
+    exhausted).  Between calls the clock also advances by ``skew`` to
+    model non-timed work.
+    """
+
+    script: Sequence[float]
+    skew: float = 0.0
+    _now: float = 0.0
+    _i: int = 0
+    _phase: int = field(default=0, repr=False)
+
+    def __call__(self) -> float:
+        if self._phase == 0:            # start of a timed region
+            self._now += self.skew
+            self._phase = 1
+        else:                           # end of a timed region
+            self._now += self.script[self._i % len(self.script)]
+            self._i += 1
+            self._phase = 0
+        return self._now

@@ -13,6 +13,10 @@ Commands mirror the operator tasks the examples walk through:
   layer and write Chrome-trace / Prometheus / summary artifacts,
 * ``drill`` — run a resilience drill; ``drill sdc`` injects silent data
   corruption end-to-end and exits non-zero on any undetected corruption,
+* ``bench`` — run the perf-regression harness: deterministic
+  ``BENCH_<area>.json`` artifacts plus wall-clock timing companions, with
+  ``--compare`` failing on budgeted-metric regressions vs the committed
+  baseline,
 * ``experiments`` — list every experiment and the bench that regenerates it.
 """
 
@@ -55,6 +59,8 @@ EXPERIMENTS = [
      "benchmarks/bench_telemetry_overhead.py"),
     ("E16", "SDC drill (silent-corruption detection, rollback, overhead)",
      "benchmarks/bench_integrity_overhead.py"),
+    ("E17", "perf-regression harness (repro bench -> BENCH_*.json)",
+     "src/repro/bench/"),
     ("ABL", "design-choice ablations",
      "benchmarks/bench_ablations.py"),
 ]
@@ -219,6 +225,52 @@ def cmd_drill(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.runner import (
+        DEFAULT_BASELINE_DIR,
+        compare_docs,
+        load_artifact_dir,
+        run_bench,
+        write_artifacts,
+    )
+    from repro.bench.schema import BenchSchemaError
+
+    areas = args.areas.split(",") if args.areas else None
+    try:
+        artifacts = run_bench(
+            areas=areas, quick=args.quick, seed=args.seed,
+            wall=not args.no_wall,
+            progress=lambda msg: print(msg, file=sys.stderr))
+    except (ValueError, BenchSchemaError) as exc:
+        print(f"bench error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = args.out or "bench"
+    written = write_artifacts(artifacts, out_dir)
+    for path in written:
+        print(f"wrote {path}")
+    if args.update_baseline:
+        baseline_paths = write_artifacts(
+            {a: type(arts)(area=arts.area, doc=arts.doc, timing_doc=None)
+             for a, arts in artifacts.items()},
+            DEFAULT_BASELINE_DIR)
+        for path in baseline_paths:
+            print(f"updated baseline {path}")
+    if args.compare is not None:
+        baseline_dir = args.compare or str(DEFAULT_BASELINE_DIR)
+        try:
+            baseline = load_artifact_dir(baseline_dir)
+        except BenchSchemaError as exc:
+            print(f"bench error: {exc}", file=sys.stderr)
+            return 2
+        current = {a: arts.doc for a, arts in artifacts.items()}
+        report = compare_docs(current, baseline)
+        print(f"\ncompare vs {baseline_dir}:")
+        print(report.to_text())
+        if not report.ok:
+            return 1
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     width = max(len(e[1]) for e in EXPERIMENTS)
     for exp_id, title, bench in EXPERIMENTS:
@@ -307,6 +359,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="",
                    help="output directory (default drills/sdc-seed<N>)")
     p.set_defaults(fn=cmd_drill)
+
+    p = sub.add_parser("bench", help="run the perf-regression harness")
+    p.add_argument("--quick", action="store_true",
+                   help="small workloads + fewer timing rounds (CI smoke)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--areas", default="",
+                   help="comma-separated areas (default: all registered)")
+    p.add_argument("--out", default="",
+                   help="output directory (default bench/)")
+    p.add_argument("--no-wall", action="store_true",
+                   help="skip wall-clock timing (deterministic artifacts "
+                        "only; fastest, fully reproducible)")
+    p.add_argument("--compare", nargs="?", const="", default=None,
+                   metavar="BASELINE_DIR",
+                   help="diff against a baseline directory (default "
+                        "benchmarks/baselines) and exit non-zero on any "
+                        "budgeted-metric regression")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite benchmarks/baselines with this run's "
+                        "deterministic artifacts")
+    p.set_defaults(fn=cmd_bench)
 
     sub.add_parser("experiments", help="list experiments and benches"
                    ).set_defaults(fn=cmd_experiments)

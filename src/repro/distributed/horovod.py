@@ -112,6 +112,56 @@ class DistributedOptimizer:
         #: Traffic accounting for the scaling experiments.
         self.bytes_communicated = 0
         self.allreduce_calls = 0
+        #: Fusion-buffer accounting for the perf-regression harness:
+        #: fresh fused-buffer allocations vs pooled reuses per synchronize.
+        self.fusion_allocs = 0
+        self.fusion_reuses = 0
+        self._fused_buf: Optional[np.ndarray] = None
+        self._grad_pool: Optional[list[np.ndarray]] = None
+
+    def _fuse_grads(self) -> np.ndarray:
+        """Fill the pooled fusion buffer with the current gradients.
+
+        The buffer is allocated once (and again only if the parameter set
+        changes size); later steps reuse it through casting slice
+        assignment, which is bit-identical to fusing via
+        ``np.concatenate`` of per-parameter float64 casts.
+        """
+        params = self.params
+        sizes = [p.size for p in params]
+        total = sum(sizes)
+        buf = self._fused_buf
+        if buf is None or buf.size != total:
+            buf = self._fused_buf = np.empty(total, dtype=np.float64)
+            self._grad_pool = None
+            self.fusion_allocs += 1
+        else:
+            self.fusion_reuses += 1
+        offset = 0
+        for p, n in zip(params, sizes):
+            g = p.grad
+            if g is None:
+                buf[offset:offset + n] = 0.0
+            else:
+                buf[offset:offset + n] = np.asarray(g).reshape(-1)
+            offset += n
+        return buf
+
+    def _scatter_grads(self, buf: np.ndarray) -> None:
+        """Pooled counterpart of :func:`_unflatten_into_grads`: each
+        parameter's gradient array is allocated once and refilled in
+        place on every step."""
+        params = self.params
+        pool = self._grad_pool
+        if pool is None or len(pool) != len(params):
+            pool = self._grad_pool = [
+                np.empty(p.data.shape, dtype=np.float64) for p in params]
+        offset = 0
+        for p, out in zip(params, pool):
+            n = p.size
+            out[...] = buf[offset:offset + n].reshape(p.data.shape)
+            p.grad = out
+            offset += n
 
     @property
     def params(self) -> list[Parameter]:
@@ -139,7 +189,7 @@ class DistributedOptimizer:
             return
         tracer = telemetry.get_tracer()
         start = self.comm.sim_time if tracer.enabled else 0.0
-        fused = _flatten_grads(self.params)
+        fused = self._fuse_grads()
         if self.integrity_config is not None or self.injector is not None:
             from repro.resilience.integrity import (IntegrityConfig,
                                                     verified_grad_allreduce)
@@ -158,7 +208,9 @@ class DistributedOptimizer:
                     self.comm.allreduce(wire, op=ReduceOp.SUM)
                 )
         if self.average:
-            reduced = reduced / self.comm.size
+            # In place: ``reduced`` is either the pooled fusion buffer or
+            # a collective-local array, never caller-owned memory.
+            np.divide(reduced, self.comm.size, out=reduced)
         nbytes = self.compression.wire_bytes(fused)
         self.bytes_communicated += nbytes
         self.allreduce_calls += 1
@@ -168,7 +220,7 @@ class DistributedOptimizer:
                           lane=self.comm._lane(), nbytes=nbytes)
             telemetry.get_registry().counter(
                 "collective_bytes", op="grad-allreduce").inc(nbytes)
-        _unflatten_into_grads(self.params, reduced)
+        self._scatter_grads(reduced)
 
     def step(self) -> None:
         self.synchronize()

@@ -143,6 +143,18 @@ class Communicator:
         self.integrity = integrity
         self.state: RankState = transport.states[self.group[rank]]
         self._coll_seq = 0  # per-communicator collective sequence for tag isolation
+        # Hot-path caches: every message pays _send_raw/_recv_raw, so the
+        # per-call attribute/hasattr/import lookups are hoisted here.  The
+        # cost model is immutable per communicator (``with_cost_model``
+        # builds a new one), so caching its methods is safe.
+        self._ptp_between = getattr(self.cost_model, "ptp_between", None)
+        self._ptp = self.cost_model.ptp
+        self._alpha = self.cost_model.alpha
+        if integrity is not None:
+            from repro.resilience.integrity import TRUSTED_CRC, Envelope
+
+            self._envelope_cls = Envelope
+            self._trusted_crc = TRUSTED_CRC
 
     # -- mpi4py-style accessors ---------------------------------------------
     def Get_rank(self) -> int:
@@ -204,58 +216,66 @@ class Communicator:
         return self.group[grp_rank]
 
     def _send_raw(self, dest: int, obj: Any, tag: int) -> None:
+        state = self.state
+        group = self.group
         nbytes = payload_nbytes(obj)
         if self.integrity is not None:
             # Integrity layer: possibly corrupt in transit (fault plan) and,
             # when verification is on, wrap in a checksummed envelope.  The
             # byte accounting stays that of the logical payload — the CRC
             # header is noise next to any tensor.
-            obj = self.integrity.outbound(
-                obj, self._world(self.rank), self._world(dest))
-        if hasattr(self.cost_model, "ptp_between"):
+            obj = self.integrity.outbound(obj, group[self.rank], group[dest])
+            if type(obj) is self._envelope_cls:
+                if obj.crc == self._trusted_crc:
+                    state.envelope_fastpath += 1
+                else:
+                    state.envelope_checksums += 1
+        if self._ptp_between is not None:
             # Modular placement: cost depends on the endpoints' modules.
-            cost = self.cost_model.ptp_between(
-                self._world(self.rank), self._world(dest), nbytes)
+            cost = self._ptp_between(group[self.rank], group[dest], nbytes)
         else:
-            cost = self.cost_model.ptp(nbytes)
+            cost = self._ptp(nbytes)
+        send_time = state.sim_time
+        state.bytes_sent += nbytes
+        state.messages_sent += 1
+        # Sender-side overhead: the message latency term; transmission
+        # overlaps with subsequent computation (eager/buffered send).
+        alpha = self._alpha
+        state.advance(alpha)
+        state.comm_time += alpha
         msg = Message(
             source=self.rank,
             tag=tag,
             context=self.context,
             payload=obj,
-            send_time=self.state.sim_time,
+            send_time=send_time + cost,  # arrival time for the receiver
             nbytes=nbytes,
         )
-        self.state.bytes_sent += nbytes
-        self.state.messages_sent += 1
-        # Sender-side overhead: the message latency term; transmission
-        # overlaps with subsequent computation (eager/buffered send).
-        self.state.advance(self.cost_model.alpha)
-        self.state.comm_time += self.cost_model.alpha
-        msg_arrival = msg.send_time + cost
-        msg.send_time = msg_arrival  # store arrival time for the receiver
-        self.transport.put(self._world(dest), msg)
+        self.transport.put(group[dest], msg)
 
     def _recv_raw(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Message:
         msg = self.transport.get(
             self._world(self.rank), source=source, tag=tag, context=self.context
         )
-        before = self.state.sim_time
-        self.state.observe(msg.send_time)
-        self.state.comm_time += self.state.sim_time - before
-        self.state.bytes_received += msg.nbytes
-        self.state.messages_received += 1
-        if self.integrity is not None:
-            from repro.resilience.integrity import Envelope  # hot path: cached
-
-            if isinstance(msg.payload, Envelope):
-                payload, penalty = self.integrity.inbound(msg.payload)
-                msg.payload = payload
-                if penalty > 0.0:
-                    # Detected corruption: charge the retransmission to the
-                    # receiver's simulated clock.
-                    self.state.advance(penalty)
-                    self.state.comm_time += penalty
+        state = self.state
+        before = state.sim_time
+        state.observe(msg.send_time)
+        state.comm_time += state.sim_time - before
+        state.bytes_received += msg.nbytes
+        state.messages_received += 1
+        if self.integrity is not None and type(msg.payload) is self._envelope_cls:
+            trusted = msg.payload.crc == self._trusted_crc
+            payload, penalty = self.integrity.inbound(msg.payload)
+            msg.payload = payload
+            if trusted:
+                state.envelope_fastpath += 1
+            else:
+                state.envelope_checksums += 1
+            if penalty > 0.0:
+                # Detected corruption: charge the retransmission to the
+                # receiver's simulated clock.
+                state.advance(penalty)
+                state.comm_time += penalty
         return msg
 
     # -- lowercase object API -------------------------------------------------

@@ -63,6 +63,12 @@ class RankState:
     messages_received: int = 0
     compute_time: float = 0.0
     comm_time: float = 0.0
+    #: Integrity-envelope accounting (only moves when an
+    #: :class:`~repro.resilience.integrity.IntegrityContext` is installed):
+    #: full payload-checksum computations vs trusted fast-path envelopes
+    #: that skipped checksumming because no message corruption is possible.
+    envelope_checksums: int = 0
+    envelope_fastpath: int = 0
 
     def advance(self, dt: float) -> None:
         if dt < 0:

@@ -173,12 +173,24 @@ class IntegrityConfig:
             raise ValueError("retransmit penalty must be non-negative")
 
 
+#: Sentinel CRC marking a trusted-transport envelope.  The in-process
+#: shared-memory transport cannot itself corrupt payloads — the only
+#: in-transit corruption source is a :class:`CorruptionInjector` with a
+#: positive per-message probability — so when no such injector is active
+#: the sender skips the payload checksum and the receiver skips
+#: verification.  Real checksums are non-negative 64-bit values, so the
+#: sentinel can never collide with one.
+TRUSTED_CRC = -1
+
+
 class Envelope(NamedTuple):
     """A checksummed message payload.
 
     ``clean`` is ``None`` for untampered payloads; when the injector
     corrupted the payload in transit it holds the sender's retained copy,
     standing in for the retransmit buffer a real reliable transport keeps.
+    A ``crc`` of :data:`TRUSTED_CRC` marks a trusted-transport envelope
+    that carries no checksum at all.
     """
 
     payload: Any
@@ -309,10 +321,20 @@ class IntegrityContext:
 
     def outbound(self, obj: Any, src: int, dst: int) -> Any:
         """The wire form of ``obj``: possibly corrupted, possibly enveloped."""
-        corrupted = False
-        wire = obj
-        if self.injector is not None:
-            wire, corrupted = self.injector.maybe_corrupt_message(obj, src, dst)
+        injector = self.injector
+        if injector is None or injector.message_p <= 0.0:
+            # Trusted fast path: nothing can tamper with this message in
+            # transit (the transport is shared memory and no injector is
+            # armed), so checksumming it could only ever confirm a match.
+            # Skipping the computation on both ends is behavior-preserving
+            # and removes the envelope layer's dominant per-message cost.
+            # Gradient corruption is out of scope here by construction:
+            # it is applied *before* send, so even the slow path's
+            # checksum is taken over the already-corrupted contribution.
+            if not self.config.verify:
+                return obj
+            return Envelope(payload=obj, crc=TRUSTED_CRC)
+        wire, corrupted = injector.maybe_corrupt_message(obj, src, dst)
         if not self.verify:
             return wire          # unprotected: corruption flows silently
         return Envelope(payload=wire, crc=checksum_payload(obj),
@@ -325,6 +347,8 @@ class IntegrityContext:
         retransmission penalty is charged, and the sender's retained clean
         copy is consumed.
         """
+        if envelope.crc == TRUSTED_CRC:
+            return envelope.payload, 0.0
         if checksum_payload(envelope.payload) == envelope.crc:
             return envelope.payload, 0.0
         from repro import telemetry

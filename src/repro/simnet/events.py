@@ -14,9 +14,7 @@ through the analytic cost models.
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
@@ -24,21 +22,30 @@ class SimulationError(RuntimeError):
     """Raised for invalid simulation operations (e.g. scheduling in the past)."""
 
 
-@dataclass(order=False)
 class Event:
     """A value that materialises at a simulated time.
 
     Processes wait on events by yielding them.  Callbacks registered with
     :meth:`add_callback` fire when the event is triggered.
+
+    Implementation note: events are the DES kernel's unit allocation —
+    serving and scheduler scenarios create millions — so the class is
+    ``__slots__``-based and the callback list is allocated lazily (most
+    events carry exactly zero or one callback).
     """
 
-    sim: "Simulator"
-    name: str = ""
-    _value: Any = None
-    _triggered: bool = False
-    _cancelled: bool = False
-    _time: Optional[float] = None
-    _callbacks: list = field(default_factory=list)
+    __slots__ = ("sim", "name", "_value", "_triggered", "_cancelled",
+                 "_time", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = "",
+                 _value: Any = None) -> None:
+        self.sim = sim
+        self.name = name
+        self._value = _value
+        self._triggered = False
+        self._cancelled = False
+        self._time: Optional[float] = None
+        self._callbacks: Optional[list] = None
 
     @property
     def triggered(self) -> bool:
@@ -74,6 +81,8 @@ class Event:
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
         if self._triggered:
             fn(self)
+        elif self._callbacks is None:
+            self._callbacks = [fn]
         else:
             self._callbacks.append(fn)
 
@@ -89,9 +98,10 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self._triggered = True
         self._time = now
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+        callbacks, self._callbacks = self._callbacks, None
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
 
 
 class Process:
@@ -176,12 +186,16 @@ class Resource:
 class EventQueue:
     """Deterministic (time, seq) priority queue used by :class:`Simulator`."""
 
+    __slots__ = ("_heap", "_seq")
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
-        self._seq = itertools.count()
+        self._seq = 0
 
     def push(self, time: float, event: Event) -> None:
-        heapq.heappush(self._heap, (time, next(self._seq), event))
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, event))
 
     def pop(self) -> tuple[float, Event]:
         time, _, event = heapq.heappop(self._heap)
@@ -282,19 +296,43 @@ class Simulator:
         """Run until queue exhaustion or simulated time ``until``.
 
         Returns the final simulated time.
+
+        This is the kernel's hottest loop, so it pops straight off the
+        underlying heap with locally-bound helpers instead of going through
+        :meth:`step`; the (time, seq) ordering and per-event semantics are
+        identical.
         """
+        heap = self._queue._heap
+        heappop = heapq.heappop
+        processed = 0
         steps = 0
-        while len(self._queue) > 0:
-            if until is not None and self._queue.peek_time() > until:
-                self.now = until
-                break
-            if steps >= max_events:
-                raise SimulationError(f"exceeded {max_events} events — runaway simulation?")
-            self.step()
-            steps += 1
-        if until is not None and self.now < until:
-            self.now = until
-        return self.now
+        now = self.now
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    now = until
+                    break
+                if steps >= max_events:
+                    raise SimulationError(
+                        f"exceeded {max_events} events — runaway simulation?"
+                    )
+                steps += 1
+                time, _, event = heappop(heap)
+                if time < now:
+                    raise SimulationError("time ran backwards")
+                now = time
+                self.now = now
+                if not event._cancelled:
+                    processed += 1
+                    event._fire(now)
+                    # Callbacks may advance the clock (nested run) — resync.
+                    now = self.now
+        finally:
+            self._processed += processed
+        if until is not None and now < until:
+            now = until
+        self.now = now
+        return now
 
     @property
     def events_processed(self) -> int:

@@ -1,0 +1,86 @@
+"""Smoke coverage for the ``benchmarks/`` suite's common-flag contract.
+
+Every ``bench_*.py`` module must be a standalone script: importable with
+the benchmarks directory on ``sys.path``, exposing a ``main(argv)`` that
+understands the common ``--quick``/``--seed`` flags from
+``benchmarks/_common.py``.  The slow test at the bottom actually runs the
+whole suite once in quick mode — the same invocation CI's bench job uses.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+BENCH_MODULES = sorted(p.name for p in BENCH_DIR.glob("bench_*.py"))
+
+
+def _load(name: str):
+    """Import a benchmark module the way its ``main`` runs: with the
+    benchmarks dir (for ``conftest``/``_common``) and ``src`` importable."""
+    for entry in (str(BENCH_DIR), str(REPO_ROOT / "src")):
+        if entry not in sys.path:
+            sys.path.insert(0, entry)
+    spec = importlib.util.spec_from_file_location(
+        name.removesuffix(".py"), BENCH_DIR / name)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_suite_is_nonempty():
+    assert len(BENCH_MODULES) >= 15
+
+
+@pytest.mark.parametrize("name", BENCH_MODULES)
+def test_every_bench_module_has_standalone_main(name):
+    module = _load(name)
+    assert callable(getattr(module, "main", None)), \
+        f"{name} lacks a main() entry point"
+
+
+class TestCommonFlags:
+    def test_parse_defaults(self):
+        common = _load("_common.py")
+        ns = common.parse_bench_args([])
+        assert (ns.quick, ns.seed) == (False, 0)
+
+    def test_parse_quick_and_seed(self):
+        common = _load("_common.py")
+        ns = common.parse_bench_args(["--quick", "--seed", "7"])
+        assert (ns.quick, ns.seed) == (True, 7)
+
+    def test_env_export_roundtrip(self, monkeypatch):
+        common = _load("_common.py")
+        monkeypatch.delenv(common.QUICK_ENV, raising=False)
+        monkeypatch.delenv(common.SEED_ENV, raising=False)
+        assert not common.bench_quick()
+        assert common.bench_seed() == 0
+        common.export_bench_env(True, 3)
+        try:
+            assert common.bench_quick()
+            assert common.bench_seed() == 3
+        finally:
+            monkeypatch.delenv(common.QUICK_ENV, raising=False)
+            monkeypatch.delenv(common.SEED_ENV, raising=False)
+
+
+@pytest.mark.slow
+def test_quick_suite_passes_end_to_end():
+    """The CI bench job's exact smoke invocation: the full benchmark
+    suite, quick mode, seed 0, wall-time calibration disabled."""
+    env = dict(os.environ)
+    env.update({"PYTHONPATH": "src",
+                "REPRO_BENCH_QUICK": "1",
+                "REPRO_BENCH_SEED": "0"})
+    run = subprocess.run(
+        [sys.executable, "-m", "pytest", "benchmarks", "-q",
+         "--benchmark-disable", "-p", "no:cacheprovider"],
+        cwd=REPO_ROOT, env=env, text=True, capture_output=True,
+        timeout=600)
+    assert run.returncode == 0, run.stdout[-4000:] + run.stderr[-2000:]

@@ -1,0 +1,139 @@
+"""Unit tests for the bench timing engine, driven by a fake clock.
+
+Nothing here touches wall time: every measurement goes through
+:class:`repro.bench.timing.FakeClock`, so the interleaving, warmup,
+min-of-K and outlier-rejection policies are asserted deterministically.
+"""
+
+import pytest
+
+from repro.bench.timing import (
+    FULL_POLICY,
+    QUICK_POLICY,
+    FakeClock,
+    TimingError,
+    TimingPolicy,
+    measure_interleaved,
+    reject_outliers,
+    summarize,
+)
+
+#: No gc.collect between timed calls — irrelevant under a fake clock and
+#: it keeps the suite fast.
+_POLICY = TimingPolicy(rounds=3, warmup=1, collect_gc=False)
+
+
+class TestPolicyValidation:
+    def test_defaults_are_valid(self):
+        TimingPolicy()
+        assert QUICK_POLICY.rounds < FULL_POLICY.rounds
+
+    def test_zero_rounds_rejected(self):
+        with pytest.raises(TimingError):
+            TimingPolicy(rounds=0)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(TimingError):
+            TimingPolicy(warmup=-1)
+
+    def test_outlier_factor_must_exceed_one(self):
+        with pytest.raises(TimingError):
+            TimingPolicy(outlier_factor=1.0)
+
+
+class TestFakeClock:
+    def test_each_timed_region_consumes_one_script_entry(self):
+        clock = FakeClock(script=[3.0, 5.0])
+        t0 = clock()
+        assert clock() - t0 == 3.0
+        t0 = clock()
+        assert clock() - t0 == 5.0
+        t0 = clock()        # script cycles
+        assert clock() - t0 == 3.0
+
+    def test_skew_lands_between_timed_regions(self):
+        clock = FakeClock(script=[1.0], skew=100.0)
+        t0 = clock()
+        assert clock() - t0 == 1.0      # skew never inside a region
+
+
+class TestInterleaving:
+    def test_candidates_alternate_every_round(self):
+        calls = []
+        measure_interleaved(
+            {"a": lambda: calls.append("a"), "b": lambda: calls.append("b")},
+            policy=TimingPolicy(rounds=2, warmup=1, collect_gc=False),
+            clock=FakeClock(script=[1.0]))
+        # 3 total rounds (1 warmup + 2 recorded), interleaved — never
+        # a-a-a then b-b-b.
+        assert calls == ["a", "b", "a", "b", "a", "b"]
+
+    def test_warmup_rounds_are_discarded(self):
+        # First round observes 100s for both candidates; recorded rounds
+        # observe 1s.  With warmup=1 the 100s never reach the samples.
+        clock = FakeClock(script=[100.0, 100.0, 1.0, 1.0, 1.0, 1.0,
+                                  1.0, 1.0])
+        results = measure_interleaved(
+            {"a": lambda: None, "b": lambda: None},
+            policy=TimingPolicy(rounds=3, warmup=1, collect_gc=False),
+            clock=clock)
+        assert results["a"].samples == (1.0, 1.0, 1.0)
+        assert results["b"].samples == (1.0, 1.0, 1.0)
+
+    def test_min_of_k_is_the_headline(self):
+        clock = FakeClock(script=[5.0, 2.0, 9.0])
+        results = measure_interleaved(
+            {"x": lambda: None},
+            policy=TimingPolicy(rounds=3, warmup=0, collect_gc=False),
+            clock=clock)
+        r = results["x"]
+        assert r.best_s == 2.0
+        assert r.samples == (5.0, 2.0, 9.0)
+        assert r.ops_per_s == pytest.approx(0.5)
+
+    def test_untimed_skew_never_contaminates_samples(self):
+        clock = FakeClock(script=[1.0], skew=50.0)
+        results = measure_interleaved(
+            {"x": lambda: None}, policy=_POLICY, clock=clock)
+        assert results["x"].best_s == 1.0
+        assert results["x"].samples == (1.0, 1.0, 1.0)
+
+    def test_empty_candidates_rejected(self):
+        with pytest.raises(TimingError):
+            measure_interleaved({}, policy=_POLICY, clock=FakeClock([1.0]))
+
+
+class TestOutlierRejection:
+    def test_contaminated_sample_dropped_from_secondary_stats(self):
+        kept, dropped = reject_outliers([1.0, 1.1, 1.2, 100.0], factor=4.0)
+        assert dropped == 1
+        assert 100.0 not in kept
+
+    def test_minimum_survives_rejection(self):
+        # min <= median < cutoff always, so the headline can't be dropped.
+        kept, _ = reject_outliers([0.001, 1.0, 1.0, 1.0, 50.0], factor=4.0)
+        assert 0.001 in kept
+
+    def test_summarize_reports_drop_count_but_keeps_best(self):
+        r = summarize("x", [1.0, 1.1, 1.2, 100.0],
+                      TimingPolicy(rounds=4, outlier_factor=4.0))
+        assert r.best_s == 1.0
+        assert r.outliers_dropped == 1
+        assert r.median_s < 2.0
+        assert r.mean_s < 2.0
+        assert r.samples == (1.0, 1.1, 1.2, 100.0)  # raw samples retained
+
+    def test_summarize_requires_samples(self):
+        with pytest.raises(TimingError):
+            summarize("x", [], _POLICY)
+
+
+class TestScaling:
+    def test_scaled_divides_by_op_count(self):
+        r = summarize("x", [2.0], TimingPolicy(rounds=1))
+        assert r.scaled(1000) == pytest.approx(0.002)
+
+    def test_scaled_rejects_nonpositive_ops(self):
+        r = summarize("x", [2.0], TimingPolicy(rounds=1))
+        with pytest.raises(TimingError):
+            r.scaled(0)

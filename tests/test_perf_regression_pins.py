@@ -1,0 +1,286 @@
+"""Bit-identity pins for the hot-path optimizations.
+
+Each optimization in this PR family (inlined DES run loop, trusted
+envelope fast path, pooled gradient-fusion buffers) is required to be
+*behavior-preserving to the bit*.  These tests pin that property by
+running the optimized path against an unoptimized reference built from
+the still-exported primitives (``Simulator.step``, ``checksum_payload``,
+``_flatten_grads``), so any future "optimization" that changes numerics
+fails here rather than drifting a digest silently.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.distributed.horovod import (
+    DistributedOptimizer,
+    _flatten_grads,
+    _unflatten_into_grads,
+    broadcast_parameters,
+)
+from repro.ml.models import MLP
+from repro.ml.optim import SGD
+from repro.ml.tensor import Tensor
+from repro.ml.losses import cross_entropy
+from repro.mpi.comm import Communicator
+from repro.mpi.runtime import run_spmd
+from repro.mpi.transport import Transport
+from repro.resilience.faults import FaultPlan
+from repro.resilience.integrity import (
+    TRUSTED_CRC,
+    CorruptionInjector,
+    Envelope,
+    IntegrityConfig,
+    IntegrityContext,
+    checksum_payload,
+)
+from repro.simnet.events import Simulator
+
+
+# ---------------------------------------------------------------------------
+# DES kernel: inlined run() vs the step() reference
+# ---------------------------------------------------------------------------
+
+def _des_workload(sim: Simulator, trace: list) -> None:
+    """A mix of processes, timeouts, resources and cancellations."""
+    res = sim.resource(2, name="res")
+
+    def worker(i):
+        for hop in range(4):
+            yield sim.timeout(0.1 * ((i * 7 + hop) % 5) + 0.01)
+            grant = res.acquire()
+            yield grant
+            yield sim.timeout(0.05)
+            res.release()
+            trace.append((round(sim.now, 9), i, hop))
+        return i
+
+    procs = [sim.process(worker(i), name=f"w{i}") for i in range(8)]
+    doomed = sim.timeout(0.5, name="doomed")
+    doomed.cancel()
+    sim.all_of([p.done for p in procs], name="all-done") \
+        .add_callback(lambda evt: trace.append(("done", round(sim.now, 9))))
+
+
+class TestRunLoopPinsStepSemantics:
+    def test_run_matches_step_by_step_reference(self):
+        fast_trace, ref_trace = [], []
+
+        sim_fast = Simulator()
+        _des_workload(sim_fast, fast_trace)
+        end_fast = sim_fast.run()
+
+        sim_ref = Simulator()
+        _des_workload(sim_ref, ref_trace)
+        while sim_ref.step():
+            pass
+
+        assert fast_trace == ref_trace
+        assert end_fast == sim_ref.now
+        assert sim_fast.events_processed == sim_ref.events_processed
+
+    def test_run_until_matches_reference(self):
+        fast_trace, ref_trace = [], []
+        sim_fast = Simulator()
+        _des_workload(sim_fast, fast_trace)
+        sim_fast.run(until=0.3)
+
+        sim_ref = Simulator()
+        _des_workload(sim_ref, ref_trace)
+        while len(sim_ref._queue) and sim_ref._queue.peek_time() <= 0.3:
+            sim_ref.step()
+        assert fast_trace == ref_trace
+        assert sim_fast.now == 0.3
+
+
+# ---------------------------------------------------------------------------
+# Envelope fast path: payloads bit-identical, detection still armed
+# ---------------------------------------------------------------------------
+
+class TestTrustedEnvelopeFastPath:
+    def test_fast_path_skips_checksum_but_keeps_envelope(self):
+        ctx = IntegrityContext(config=IntegrityConfig())
+        payload = np.arange(64.0)
+        wire = ctx.outbound(payload, 0, 1)
+        assert isinstance(wire, Envelope)
+        assert wire.crc == TRUSTED_CRC
+        assert wire.payload is payload          # zero-copy
+        out, penalty = ctx.inbound(wire)
+        assert out is payload and penalty == 0.0
+
+    def test_trusted_crc_cannot_collide_with_real_checksums(self):
+        assert TRUSTED_CRC < 0 <= checksum_payload(np.arange(8.0))
+
+    def test_slow_path_still_taken_when_injector_armed(self):
+        plan = FaultPlan.silent_corruption(0, message_p=1e-9)
+        with telemetry.capture():
+            ctx = IntegrityContext(CorruptionInjector(plan))
+            wire = ctx.outbound(np.arange(8.0), 0, 1)
+        assert wire.crc == checksum_payload(np.arange(8.0)) != TRUSTED_CRC
+
+    def test_legacy_checksummed_envelope_still_verifies(self):
+        ctx = IntegrityContext(config=IntegrityConfig())
+        payload = np.arange(16.0)
+        wire = Envelope(payload=payload, crc=checksum_payload(payload))
+        out, penalty = ctx.inbound(wire)
+        assert np.array_equal(out, payload) and penalty == 0.0
+
+    def test_received_payloads_identical_with_and_without_verify(self):
+        def pingpong(integrity):
+            def fn(comm):
+                data = np.linspace(0.0, 1.0, 257) * (comm.rank + 1)
+                comm.send(data, dest=1 - comm.rank, tag=3)
+                return comm.recv(source=1 - comm.rank, tag=3)
+
+            return run_spmd(fn, 2, integrity=integrity)
+
+        base = pingpong(None)
+        trusted = pingpong(IntegrityContext(config=IntegrityConfig()))
+        for b, t in zip(base, trusted):
+            assert np.array_equal(b, t)
+            assert b.dtype == t.dtype
+
+    def test_fastpath_counter_moves_checksum_counter_stays(self):
+        transport = Transport(2)
+        ctx = IntegrityContext(config=IntegrityConfig())
+
+        def fn(rank):
+            comm = Communicator(transport, rank, integrity=ctx)
+            for i in range(5):
+                comm.send(np.arange(32.0), dest=1 - rank, tag=1)
+                comm.recv(source=1 - rank, tag=1)
+
+        import threading
+        threads = [threading.Thread(target=fn, args=(r,)) for r in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for state in transport.states:
+            assert state.envelope_fastpath == 10    # 5 sends + 5 recvs
+            assert state.envelope_checksums == 0
+
+    def test_armed_injector_corruption_still_detected(self):
+        """The fast path must never swallow a real corruption."""
+        plan = FaultPlan.silent_corruption(3, message_p=0.35)
+        with telemetry.capture() as (_, registry):
+            ctx = IntegrityContext(CorruptionInjector(plan))
+            hits = 0
+            for i in range(40):
+                payload = np.arange(16.0) + i
+                wire = ctx.outbound(payload, 0, 1)
+                out, penalty = ctx.inbound(wire)
+                assert np.array_equal(out, payload)   # repaired if hit
+                hits += penalty > 0.0
+        assert hits > 0
+        from repro.resilience.integrity import corruption_totals
+        injected, detected = corruption_totals(registry)
+        assert injected == detected == hits
+
+
+# ---------------------------------------------------------------------------
+# Pooled gradient fusion: bitwise-identical to the concatenate reference
+# ---------------------------------------------------------------------------
+
+def _grads_model(seed):
+    model = MLP([6, 13, 3], seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    for p in model.parameters():
+        p.grad = rng.normal(size=p.data.shape)
+    return model
+
+
+class TestPooledFusionBuffers:
+    def test_fused_buffer_matches_concatenate_reference(self):
+        model = _grads_model(0)
+        opt = DistributedOptimizer(
+            SGD(model.parameters(), lr=0.1),
+            Communicator(Transport(1), 0))
+        reference = _flatten_grads(opt.params)
+        fused_1 = opt._fuse_grads()
+        assert fused_1.dtype == reference.dtype
+        assert np.array_equal(
+            fused_1.view(np.uint64), reference.view(np.uint64))
+        # Refill with new grads: same buffer object, still exact.
+        rng = np.random.default_rng(9)
+        for p in opt.params:
+            p.grad = rng.normal(size=p.data.shape)
+        fused_2 = opt._fuse_grads()
+        assert fused_2 is fused_1
+        assert np.array_equal(
+            fused_2.view(np.uint64),
+            _flatten_grads(opt.params).view(np.uint64))
+        assert (opt.fusion_allocs, opt.fusion_reuses) == (1, 1)
+
+    def test_missing_grads_fuse_as_zeros(self):
+        model = _grads_model(0)
+        opt = DistributedOptimizer(
+            SGD(model.parameters(), lr=0.1),
+            Communicator(Transport(1), 0))
+        opt.params[1].grad = None
+        assert np.array_equal(opt._fuse_grads(), _flatten_grads(opt.params))
+
+    def test_scatter_matches_unflatten_reference(self):
+        model = _grads_model(2)
+        opt = DistributedOptimizer(
+            SGD(model.parameters(), lr=0.1),
+            Communicator(Transport(1), 0))
+        buf = np.arange(float(sum(p.size for p in opt.params)))
+        opt._scatter_grads(buf)
+        pooled = [p.grad.copy() for p in opt.params]
+        _unflatten_into_grads(opt.params, buf)
+        for got, ref in zip(pooled, (p.grad for p in opt.params)):
+            assert got.dtype == ref.dtype
+            assert np.array_equal(got.view(np.uint64), ref.view(np.uint64))
+
+    def test_training_bitwise_identical_to_unpooled_reference(self):
+        """Full data-parallel runs: optimized synchronize vs a reference
+        replicating the pre-pooling implementation, compared to the bit."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(64, 10))
+        Y = rng.integers(0, 3, size=64)
+
+        def train(comm, reference: bool):
+            model = MLP([10, 17, 3], seed=7)
+            broadcast_parameters(model, comm)
+            opt = DistributedOptimizer(SGD(model.parameters(), lr=0.05),
+                                       comm)
+            losses = []
+            for step in range(6):
+                shard = np.arange(step % 2, len(X), comm.size * 2)
+                shard = (shard + comm.rank * 2) % len(X)
+                loss = cross_entropy(model(Tensor(X[shard])), Y[shard])
+                opt.zero_grad()
+                loss.backward()
+                if reference:
+                    # The pre-pooling synchronize, reproduced verbatim.
+                    from repro.mpi import collectives
+                    fused = _flatten_grads(opt.params)
+                    wire = fused.copy()
+                    collectives.ring_allreduce_inplace(
+                        comm, wire, comm._next_coll_tag())
+                    reduced = wire / comm.size
+                    _unflatten_into_grads(opt.params, reduced)
+                    opt.optimizer.step()
+                else:
+                    opt.step()
+                losses.append(loss.item())
+            return losses, {k: v.copy()
+                            for k, v in model.state_dict().items()}
+
+        pooled = run_spmd(lambda c: train(c, reference=False), 2)
+        ref = run_spmd(lambda c: train(c, reference=True), 2)
+        for (pl, pw), (rl, rw) in zip(pooled, ref):
+            assert pl == rl                     # loss trajectory, exact
+            assert set(pw) == set(rw)
+            for key in pw:
+                assert np.array_equal(pw[key].view(np.uint64),
+                                      rw[key].view(np.uint64)), key
+
+    def test_average_divide_in_place_matches_fresh_divide(self):
+        arr = np.linspace(-3.0, 3.0, 97)
+        expect = arr / 4
+        got = arr.copy()
+        np.divide(got, 4, out=got)
+        assert np.array_equal(got.view(np.uint64), expect.view(np.uint64))
