@@ -1,13 +1,15 @@
 """The registered micro-benchmark cases behind ``repro bench``.
 
-Four core areas mirror the substrate layers the repo's perf story rests
+Five core areas mirror the substrate layers the repo's perf story rests
 on (ROADMAP item 4):
 
 * ``events``   — DES kernel throughput (`repro.simnet.events`),
 * ``mpi``      — point-to-point / collective message cost and the
   checksummed-envelope tax (`repro.mpi`, `repro.resilience.integrity`),
 * ``training`` — fused-gradient allreduce step (`repro.distributed`),
-* ``serving``  — end-to-end online-serving latency tail (`repro.serving`).
+* ``serving``  — end-to-end online-serving latency tail (`repro.serving`),
+* ``tensor``   — the lazy tensor engine: fusion ratios, buffer
+  allocations per step and per-kernel device charges (`repro.ml.engine`).
 
 Every case reports **deterministic** metrics (simulated time, operation
 counters, rates over simulated seconds) plus digests that pin functional
@@ -348,6 +350,232 @@ def fused_allreduce_step(quick: bool, seed: int) -> CaseRun:
         wall_candidates={
             "train_steps": lambda: _training_workload(steps, world, seed)},
         wall_ops={"train_steps": steps},
+    )
+
+
+@bench_case(
+    "engine_lazy_train_step", area="training",
+    budgets={
+        "alloc_reduction": Budget("higher", 0.0),
+        "weights_bitwise_equal": Budget("higher", 0.0),
+        "modeled_step_speedup": Budget("higher", 0.0),
+    },
+    description="training step under ENGINE=lazy: allocation and modeled "
+                "sim-gpu step-time gain over eager dispatch, outputs "
+                "bit-identical",
+)
+def engine_lazy_train_step(quick: bool, seed: int) -> CaseRun:
+    steps = 6 if quick else 24
+    _, e_weights, eager = _engine_train("eager", steps, seed)
+    _, l_weights, lazy = _engine_train("lazy", steps, seed)
+    fused_s, unfused_s, kernels = _simgpu_step_cost(32, seed)
+    metrics = {
+        "steps": float(steps),
+        "eager_allocs_per_step": _round6(eager["eager_ops"] / steps),
+        "lazy_allocs_per_step": _round6(lazy["kernel_allocs"] / steps),
+        "alloc_reduction": _round6(
+            eager["eager_alloc_bytes"] / lazy["kernel_alloc_bytes"]),
+        "step_compute_fused_us": _round6(fused_s * 1e6),
+        "step_compute_unfused_us": _round6(unfused_s * 1e6),
+        "modeled_step_speedup": _round6(unfused_s / fused_s),
+        "weights_bitwise_equal": float(
+            np.array_equal(e_weights.view(np.uint64),
+                           l_weights.view(np.uint64))),
+    }
+    return CaseRun(
+        metrics=metrics,
+        digests={"final_weights": stable_digest(l_weights)},
+        wall_candidates={
+            "lazy_steps": lambda: _engine_train("lazy", steps, seed)},
+        wall_ops={"lazy_steps": steps},
+    )
+
+
+# ---------------------------------------------------------------------------
+# tensor — the lazy engine: fusion, allocations, per-kernel device cost
+# ---------------------------------------------------------------------------
+
+
+def _engine_chain(mode: str, n: int, seed: int):
+    """A matmul feeding a diamond of elementwise chains with reduce
+    epilogues — the fusion shapes the engine exists for.  Returns the
+    realized output and the engine-stat snapshot for ``mode``."""
+    from repro.ml import engine as eng
+    from repro.ml.tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    xs = rng.standard_normal((n, n))
+    ws = rng.standard_normal((n, n))
+    with eng.engine(mode):
+        with eng.collect() as stats:
+            x, w = Tensor(xs), Tensor(ws)
+            h = x @ w + 1.0
+            y = ((h * 2.0).tanh().relu() + h.sigmoid()).sum(axis=1)
+            out = np.array(y.numpy(), copy=True)
+            snap = stats.snapshot()
+    return out, snap
+
+
+@bench_case(
+    "fused_elementwise_chain", area="tensor",
+    budgets={
+        "lazy_kernels": Budget("lower", 0.0),
+        "lazy_allocs": Budget("lower", 0.0),
+        "alloc_bytes_reduction": Budget("higher", 0.0),
+        "outputs_bitwise_equal": Budget("higher", 0.0),
+    },
+    description="elementwise/reduce chain fusion: eager op-by-op vs "
+                "fused lazy kernels, bit-identical outputs",
+)
+def fused_elementwise_chain(quick: bool, seed: int) -> CaseRun:
+    n = 96 if quick else 384
+    eager_out, eager = _engine_chain("eager", n, seed)
+    lazy_out, lazy = _engine_chain("lazy", n, seed)
+    metrics = {
+        "eager_ops": float(eager["eager_ops"]),
+        "eager_alloc_bytes": float(eager["eager_alloc_bytes"]),
+        "lazy_kernels": float(lazy["kernels"]),
+        "lazy_fused_ops": float(lazy["fused_ops"]),
+        "lazy_allocs": float(lazy["kernel_allocs"]),
+        "lazy_alloc_bytes": float(lazy["kernel_alloc_bytes"]),
+        "ops_per_kernel": _round6(lazy["fused_ops"] / lazy["kernels"]),
+        "alloc_bytes_reduction": _round6(
+            eager["eager_alloc_bytes"] / lazy["kernel_alloc_bytes"]),
+        "outputs_bitwise_equal": float(
+            np.array_equal(eager_out.view(np.uint64),
+                           lazy_out.view(np.uint64))),
+    }
+    return CaseRun(
+        metrics=metrics,
+        digests={"chain_output": stable_digest(lazy_out)},
+        wall_candidates={
+            "eager": lambda: _engine_chain("eager", n, seed),
+            "lazy": lambda: _engine_chain("lazy", n, seed),
+        },
+        wall_ops={"eager": eager["eager_ops"], "lazy": lazy["fused_ops"]},
+    )
+
+
+def _engine_train(mode: str, steps: int, seed: int):
+    """Single-rank MLP training under the requested engine mode."""
+    from repro.ml import engine as eng
+    from repro.ml.losses import cross_entropy
+    from repro.ml.models import MLP
+    from repro.ml.optim import SGD
+    from repro.ml.tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((48, 24))
+    y = rng.integers(0, 4, size=48)
+    with eng.engine(mode):
+        model = MLP([24, 48, 4], seed=seed)
+        opt = SGD(model.parameters(), lr=0.05)
+        losses = []
+        with eng.collect() as stats:
+            for step in range(steps):
+                lo = (step * 16) % 48
+                loss = cross_entropy(model(Tensor(X[lo:lo + 16])),
+                                     y[lo:lo + 16])
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                losses.append(float(loss.item()))
+            snap = stats.snapshot()
+    state = model.state_dict()
+    weights = np.concatenate([state[k].ravel() for k in sorted(state)])
+    return losses, weights, snap
+
+
+def _simgpu_step_cost(batch: int, seed: int):
+    """Per-kernel sim-gpu charge of one forward+loss graph: fused vs the
+    one-kernel-per-op counterfactual (all from shapes — deterministic)."""
+    from repro.ml import engine as eng
+    from repro.ml.engine import get_device, schedule
+    from repro.ml.losses import cross_entropy
+    from repro.ml.models import MLP
+    from repro.ml.tensor import Tensor
+
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((batch, 24))
+    y = rng.integers(0, 4, size=batch)
+    dev = get_device("sim-gpu")
+    with eng.engine("lazy"):
+        model = MLP([24, 48, 4], seed=seed)
+        loss = cross_entropy(model(Tensor(X)), y)
+        kernels = schedule(loss._payload())
+    fused = sum(dev.kernel_time_s(k.flops, k.bytes_moved, k.n_ops)
+                for k in kernels)
+    unfused = sum(dev.unfused_time_s(k) for k in kernels)
+    return fused, unfused, kernels
+
+
+@bench_case(
+    "mlp_train_step_engine", area="tensor",
+    budgets={
+        "lazy_allocs_per_step": Budget("lower", 0.0),
+        "alloc_reduction": Budget("higher", 0.0),
+        "weights_bitwise_equal": Budget("higher", 0.0),
+    },
+    description="MLP train steps: ENGINE=lazy vs eager allocations, "
+                "bitwise-identical weights",
+)
+def mlp_train_step_engine(quick: bool, seed: int) -> CaseRun:
+    steps = 6 if quick else 24
+    e_losses, e_weights, eager = _engine_train("eager", steps, seed)
+    l_losses, l_weights, lazy = _engine_train("lazy", steps, seed)
+    metrics = {
+        "steps": float(steps),
+        "eager_allocs_per_step": _round6(eager["eager_ops"] / steps),
+        "lazy_allocs_per_step": _round6(lazy["kernel_allocs"] / steps),
+        "alloc_reduction": _round6(
+            eager["eager_alloc_bytes"] / lazy["kernel_alloc_bytes"]),
+        "kernels_per_step": _round6(lazy["kernels"] / steps),
+        "recomputes_per_step": _round6(lazy["recomputes"] / steps),
+        "weights_bitwise_equal": float(
+            np.array_equal(e_weights.view(np.uint64),
+                           l_weights.view(np.uint64))),
+    }
+    digests = {
+        "loss_trajectory": stable_digest(l_losses),
+        "final_weights": stable_digest(l_weights),
+    }
+    return CaseRun(
+        metrics=metrics, digests=digests,
+        wall_candidates={
+            "eager": lambda: _engine_train("eager", steps, seed),
+            "lazy": lambda: _engine_train("lazy", steps, seed),
+        },
+        wall_ops={"eager": steps, "lazy": steps},
+    )
+
+
+@bench_case(
+    "simgpu_kernel_charge", area="tensor",
+    budgets={
+        "kernels": Budget("lower", 0.0),
+        "modeled_fusion_speedup": Budget("higher", 0.0),
+    },
+    description="sim-gpu device: per-fused-kernel A100 roofline charge "
+                "vs the kernel-per-op counterfactual",
+)
+def simgpu_kernel_charge(quick: bool, seed: int) -> CaseRun:
+    batch = 16 if quick else 64
+    fused_s, unfused_s, kernels = _simgpu_step_cost(batch, seed)
+    total_ops = sum(k.n_ops for k in kernels)
+    metrics = {
+        "kernels": float(len(kernels)),
+        "graph_ops": float(total_ops),
+        "fused_time_us": _round6(fused_s * 1e6),
+        "unfused_time_us": _round6(unfused_s * 1e6),
+        "modeled_fusion_speedup": _round6(unfused_s / fused_s),
+    }
+    return CaseRun(
+        metrics=metrics,
+        digests={"kernel_plan": stable_digest(
+            [k.name for k in kernels])},
+        wall_candidates={
+            "plan_and_price": lambda: _simgpu_step_cost(batch, seed)},
+        wall_ops={"plan_and_price": total_ops},
     )
 
 

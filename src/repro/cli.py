@@ -61,6 +61,8 @@ EXPERIMENTS = [
      "benchmarks/bench_integrity_overhead.py"),
     ("E17", "perf-regression harness (repro bench -> BENCH_*.json)",
      "src/repro/bench/"),
+    ("E18", "lazy tensor engine (fused op graphs, cpu/sim-gpu backends)",
+     "src/repro/ml/engine/"),
     ("ABL", "design-choice ablations",
      "benchmarks/bench_ablations.py"),
 ]

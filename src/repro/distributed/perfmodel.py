@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.core.hardware import GpuSpec, NodeSpec, NVIDIA_A100
+from repro.core.hardware import GpuSpec, NodeSpec, NVIDIA_A100, NVIDIA_V100
 from repro.simnet.costs import CollectiveCosts, CommCostModel
 from repro.simnet.link import LinkKind
 from repro.ml.models.resnet import ResNetShape, resnet50_config
@@ -232,6 +232,15 @@ class InferencePerfModel:
         return batch_samples / self.batch_time(batch_samples, node_spec,
                                                n_nodes)
 
+    def as_kernel_cost_model(self, gpu: GpuSpec = NVIDIA_A100) -> "KernelCostModel":
+        """Per-kernel roofline consistent with this node-level model.
+
+        The lazy tensor engine's ``sim-gpu`` device charges device time
+        per *fused kernel* through this — see
+        :meth:`KernelCostModel.from_inference_model`.
+        """
+        return KernelCostModel.from_inference_model(self, gpu=gpu)
+
     def as_phase(self, batch_samples: int, name: str = "serve-replica"):
         """The equivalent :class:`~repro.core.jobs.JobPhase` for matchmaking.
 
@@ -252,3 +261,65 @@ class InferencePerfModel:
             memory_GB_per_node=8.0,
             efficiency=self.gpu_efficiency,
         )
+
+
+# ---------------------------------------------------------------------------
+# per-kernel device cost (the lazy tensor engine's sim-gpu clock source)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class KernelCostModel:
+    """Roofline time for one fused GPU kernel.
+
+    Where :class:`InferencePerfModel` prices a whole forward pass,
+    this prices a single kernel launch: a fixed dispatch overhead plus
+    the larger of the compute time at sustained FLOP/s and the HBM time
+    at sustained bandwidth.  Charging the overhead once per *fused*
+    kernel instead of once per primitive op is exactly the effect the
+    engine's fuser exists to exhibit — small-tensor workloads on a
+    V100/A100 are launch- and bandwidth-bound, not FLOP-bound.
+    """
+
+    gpu: GpuSpec = NVIDIA_A100
+    #: Sustained fraction of tensor-core peak a generic fused kernel hits.
+    efficiency: float = 0.06
+    #: Achievable fraction of peak HBM bandwidth (STREAM-like).
+    hbm_efficiency: float = 0.80
+    #: Fixed per-launch cost: driver dispatch + kernel setup.
+    launch_overhead_s: float = 5.0e-6
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.efficiency <= 1.0):
+            raise ValueError("efficiency must be in (0, 1]")
+        if not (0.0 < self.hbm_efficiency <= 1.0):
+            raise ValueError("hbm_efficiency must be in (0, 1]")
+        if self.launch_overhead_s < 0:
+            raise ValueError("launch_overhead_s must be non-negative")
+
+    @classmethod
+    def from_inference_model(cls, model: InferencePerfModel,
+                             gpu: GpuSpec = NVIDIA_A100,
+                             launch_overhead_s: float = 5.0e-6,
+                             hbm_efficiency: float = 0.80) -> "KernelCostModel":
+        """Derive per-kernel constants from the node-level serving model
+        so both layers price the same silicon consistently."""
+        return cls(
+            gpu=gpu,
+            efficiency=model.gpu_efficiency,
+            hbm_efficiency=hbm_efficiency,
+            launch_overhead_s=launch_overhead_s,
+        )
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.gpu.tensor_flops * self.efficiency
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        return self.gpu.memory_bw_GBps * 1e9 * self.hbm_efficiency
+
+    def kernel_time(self, flops: float, bytes_moved: float) -> float:
+        """Launch + max(compute, memory) seconds for one fused kernel."""
+        compute = flops / self.sustained_flops
+        memory = bytes_moved / self.sustained_bandwidth
+        return self.launch_overhead_s + max(compute, memory)

@@ -1,0 +1,179 @@
+"""Fused-kernel execution on NumPy and the ``cpu`` device.
+
+:func:`execute_kernel` is the one executor both backends share: it walks
+a kernel's nodes in topo order, replaying the exact eager ufunc sequence,
+and eliminates intermediate allocations by retargeting a dying temp as
+the ``out=`` buffer of the next elementwise op.  Reuse is only attempted
+on buffers this kernel allocated itself (never on views of leaves), only
+at a temp's last use, and only on exact shape/dtype matches — the cases
+where ``ufunc(..., out=buf)`` is defined to produce bit-identical values.
+
+:class:`CpuDevice` wraps the executor with a deterministic nominal cost
+model (so CPU runs produce telemetry spans on a simulated clock too) —
+the simulated-GPU device in :mod:`repro.ml.engine.simgpu` swaps in the
+V100/A100 roofline from :mod:`repro.distributed.perfmodel` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro import telemetry
+from repro.ml.engine.fuser import Kernel, schedule
+from repro.ml.engine.graph import LazyExpr
+from repro.ml.engine.ops import ELEMENTWISE_KINDS, OPS
+from repro.ml.engine.stats import STATS
+
+
+def execute_kernel(kernel: Kernel) -> np.ndarray:
+    """Run one fused kernel; caches and returns the output ndarray."""
+    in_group = {id(n): n for n in kernel.nodes}
+    # Remaining intra-kernel uses of each interior temp (for out= reuse).
+    remaining: dict[int, int] = {}
+    for node in kernel.nodes:
+        for src in node.inputs:
+            if id(src) in in_group:
+                remaining[id(src)] = remaining.get(id(src), 0) + 1
+
+    vals: dict[int, np.ndarray] = {}     # interior temps
+    owned: dict[int, bool] = {}          # temp buffers this kernel allocated
+    stats = STATS if STATS.enabled else None
+    out: Optional[np.ndarray] = None
+
+    for node in kernel.nodes:
+        spec = OPS[node.op]
+        args = []
+        for src in node.inputs:
+            sid = id(src)
+            args.append(vals[sid] if sid in vals else src.result)
+
+        out_buf = None
+        if node.kind in ELEMENTWISE_KINDS:
+            for src in node.inputs:
+                sid = id(src)
+                if (sid in vals and owned.get(sid)
+                        and remaining[sid] == 1
+                        and vals[sid].shape == node.shape
+                        and vals[sid].dtype == node.dtype):
+                    out_buf = vals[sid]
+                    break
+
+        value = spec.execute(args, node.kwargs, out_buf)
+        if not isinstance(value, np.ndarray):
+            # Ufuncs/reductions over 0-d operands hand back numpy
+            # scalars; keep every interior value an ndarray so it can be
+            # cached as a result or retargeted as an out= buffer.
+            value = np.asarray(value)
+        if stats is not None and spec.allocates and out_buf is None:
+            stats.kernel_allocs += 1
+            stats.kernel_alloc_bytes += value.nbytes
+
+        for src in node.inputs:
+            sid = id(src)
+            if sid in remaining:
+                remaining[sid] -= 1
+
+        vals[id(node)] = value
+        # Reductions/matmuls allocate their own output; movement yields
+        # views of inputs we may not own.
+        owned[id(node)] = spec.allocates and node.kind in ELEMENTWISE_KINDS
+        out = value
+
+    kernel.output.result = out
+    return out
+
+
+class Device:
+    """A place fused kernels run.
+
+    Concrete devices define :meth:`kernel_time_s`; :meth:`realize`
+    schedules the pending subgraph, executes each kernel through the
+    shared NumPy executor, advances the device's deterministic clock and
+    emits one telemetry span per fused kernel.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        # Picoseconds on an integer clock: accumulation order cannot
+        # perturb the total, so device time is deterministic even under
+        # SPMD rank threads.
+        self._time_ps = 0
+        self.kernels_run = 0
+        self.fused_ops_run = 0
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def sim_time_s(self) -> float:
+        return self._time_ps / 1e12
+
+    def reset_clock(self) -> None:
+        self._time_ps = 0
+        self.kernels_run = 0
+        self.fused_ops_run = 0
+
+    # -- cost ------------------------------------------------------------------
+    def kernel_time_s(self, flops: float, bytes_moved: int, n_ops: int) -> float:
+        raise NotImplementedError
+
+    def unfused_time_s(self, kernel: Kernel) -> float:
+        """What the same nodes would cost launched one kernel per op."""
+        total = 0.0
+        for node in kernel.nodes:
+            in_bytes = sum(src.nbytes for src in node.inputs)
+            total += self.kernel_time_s(Kernel.node_flops(node),
+                                        in_bytes + node.nbytes, 1)
+        return total
+
+    # -- execution ---------------------------------------------------------------
+    def realize(self, root: LazyExpr) -> np.ndarray:
+        stats = STATS if STATS.enabled else None
+        if stats is not None:
+            stats.realizes += 1
+            if root.fused_away:
+                stats.recomputes += 1
+        kernels = schedule(root)
+        tracer = telemetry.get_tracer()
+        for kernel in kernels:
+            start = self.sim_time_s
+            execute_kernel(kernel)
+            cost = self.kernel_time_s(kernel.flops, kernel.bytes_moved,
+                                      kernel.n_ops)
+            self._time_ps += int(round(cost * 1e12))
+            self.kernels_run += 1
+            self.fused_ops_run += kernel.n_ops
+            if stats is not None:
+                stats.kernels += 1
+                stats.fused_ops += kernel.n_ops
+            if tracer.enabled:
+                tracer.record(
+                    f"kernel:{kernel.name}", "compute", start,
+                    self.sim_time_s - start, track="engine", lane=self.name,
+                    ops=kernel.n_ops, flops=kernel.flops,
+                    bytes=kernel.bytes_moved)
+        return root.result
+
+
+class CpuDevice(Device):
+    """NumPy execution with a nominal deterministic cost model.
+
+    The constants are not calibrated to any host — they only need to be
+    stable so CPU telemetry spans and bench sim-times are reproducible.
+    """
+
+    name = "cpu"
+
+    def __init__(self, flops_per_s: float = 5.0e10,
+                 bytes_per_s: float = 2.0e10,
+                 dispatch_s: float = 1.0e-7) -> None:
+        super().__init__()
+        self.flops_per_s = flops_per_s
+        self.bytes_per_s = bytes_per_s
+        self.dispatch_s = dispatch_s
+
+    def kernel_time_s(self, flops: float, bytes_moved: int, n_ops: int) -> float:
+        return (self.dispatch_s
+                + flops / self.flops_per_s
+                + bytes_moved / self.bytes_per_s)

@@ -1,0 +1,92 @@
+"""The lazy op graph: :class:`LazyExpr` nodes recorded behind ``Tensor``.
+
+Under ``ENGINE=lazy`` every primitive Tensor op appends a node here
+instead of calling NumPy.  Nothing executes until someone demands bytes
+(``Tensor.data``, ``.item()``, ``backward()``, a functional boundary op
+like conv2d) — at that point the fuser schedules the reachable subgraph
+into fused kernels and the current device runs them.
+
+Realization caches results only at kernel *outputs*: interior nodes of a
+fused chain stay unmaterialized, which is where the allocation savings
+come from.  If autograd later demands an interior value (a backward
+closure reading an activation), the node re-schedules itself from its
+nearest materialized ancestors — a bounded recompute, counted in
+:data:`~repro.ml.engine.stats` as ``recomputes``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.engine.ops import LEAF, OPS
+
+
+class LazyExpr:
+    """One node of the lazy graph.
+
+    ``inputs`` are other :class:`LazyExpr` instances (leaves wrap realized
+    ndarrays).  ``result`` is the cached ndarray once this node has been
+    materialized; leaves are born realized.
+    """
+
+    __slots__ = ("op", "kind", "inputs", "kwargs", "shape", "dtype",
+                 "result", "fused_away")
+
+    def __init__(self, op: str, kind: str,
+                 inputs: tuple["LazyExpr", ...],
+                 kwargs: dict[str, Any],
+                 shape: tuple[int, ...], dtype: np.dtype,
+                 result: Optional[np.ndarray] = None) -> None:
+        self.op = op
+        self.kind = kind
+        self.inputs = inputs
+        self.kwargs = kwargs
+        self.shape = shape
+        self.dtype = dtype
+        self.result = result
+        #: Set once a kernel executed *through* this node without caching
+        #: it; a later realize() of this node is a recompute.
+        self.fused_away = False
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def leaf(cls, arr: np.ndarray) -> "LazyExpr":
+        return cls("leaf", LEAF, (), {}, arr.shape, arr.dtype, result=arr)
+
+    @classmethod
+    def make(cls, op: str, inputs: tuple["LazyExpr", ...],
+             **kwargs: Any) -> "LazyExpr":
+        spec = OPS[op]
+        shape, dtype = spec.infer(tuple(i.shape for i in inputs),
+                                  tuple(i.dtype for i in inputs), kwargs)
+        return cls(op, spec.kind, inputs, kwargs, tuple(shape),
+                   np.dtype(dtype), result=None)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return int(math.prod(self.shape))
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    @property
+    def realized(self) -> bool:
+        return self.result is not None
+
+    def __repr__(self) -> str:
+        state = "realized" if self.realized else (
+            "fused" if self.fused_away else "pending")
+        return f"LazyExpr({self.op}, shape={self.shape}, {state})"
+
+    # -- realization ---------------------------------------------------------
+    def realize(self) -> np.ndarray:
+        """Materialize this node (scheduling + running fused kernels)."""
+        if self.result is None:
+            from repro.ml.engine.device import get_device
+            get_device().realize(self)
+        return self.result

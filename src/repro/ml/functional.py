@@ -213,13 +213,15 @@ def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True
     if not training or p == 0.0:
         return x
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
-    return x * Tensor(mask)
+    # Match the input dtype so dropout never upcasts a float32 model.
+    return x * Tensor(mask.astype(x.dtype, copy=False))
 
 
-def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+def one_hot(labels: np.ndarray, n_classes: int,
+            dtype=np.float64) -> np.ndarray:
     labels = np.asarray(labels, dtype=np.int64)
     if labels.min() < 0 or labels.max() >= n_classes:
         raise ValueError("labels out of range")
-    out = np.zeros((labels.shape[0], n_classes))
+    out = np.zeros((labels.shape[0], n_classes), dtype=dtype)
     out[np.arange(labels.shape[0]), labels] = 1.0
     return out

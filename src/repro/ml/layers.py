@@ -19,8 +19,9 @@ class Parameter(Tensor):
     """A trainable tensor."""
 
     def __init__(self, data, name: str = "") -> None:
-        super().__init__(np.asarray(data, dtype=np.float64), requires_grad=True,
-                         name=name)
+        # Tensor.__init__ preserves float dtypes (float32 weights stay
+        # float32) and promotes integer initialisers to float64.
+        super().__init__(data, requires_grad=True, name=name)
 
 
 class Module:

@@ -17,10 +17,21 @@ from repro.ml.functional import log_softmax, one_hot
 from repro.ml.tensor import Tensor
 
 
+def _target_tensor(ref: Tensor, values) -> Tensor:
+    """Targets as a Tensor without dtype surprises: float targets keep
+    their dtype; integer/bool targets adopt the prediction's dtype (so a
+    float32 model is not upcast by int labels)."""
+    arr = np.asarray(values)
+    if arr.dtype.kind != "f":
+        arr = arr.astype(ref.dtype if ref.dtype.kind == "f" else np.float64)
+    return Tensor(arr)
+
+
 def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
     """Mean softmax cross-entropy; ``labels`` are integer class ids."""
     n, n_classes = logits.shape
-    targets = Tensor(one_hot(np.asarray(labels), n_classes))
+    targets = Tensor(one_hot(np.asarray(labels), n_classes,
+                             dtype=logits.dtype))
     logp = log_softmax(logits, axis=-1)
     return -(targets * logp).sum() * (1.0 / n)
 
@@ -31,7 +42,7 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
     Uses the numerically stable form
     ``max(x,0) - x·y + log(1 + exp(-|x|))``.
     """
-    y = Tensor(np.asarray(targets, dtype=np.float64))
+    y = _target_tensor(logits, targets)
     x = logits
     relu_x = x.relu()
     abs_x = x.abs()
@@ -41,24 +52,24 @@ def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Ten
 
 def mse(pred: Tensor, target: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
     """Mean squared error, optionally masked to observed entries."""
-    t = Tensor(np.asarray(target, dtype=np.float64))
+    t = _target_tensor(pred, target)
     sq = (pred - t) ** 2
     if mask is None:
         return sq.mean()
     m = np.asarray(mask, dtype=np.float64)
     denom = max(m.sum(), 1.0)
-    return (sq * Tensor(m)).sum() * (1.0 / denom)
+    return (sq * _target_tensor(pred, mask)).sum() * (1.0 / denom)
 
 
 def mae(pred: Tensor, target: np.ndarray, mask: Optional[np.ndarray] = None) -> Tensor:
     """Mean absolute error — the ARDS GRU's training loss."""
-    t = Tensor(np.asarray(target, dtype=np.float64))
+    t = _target_tensor(pred, target)
     err = (pred - t).abs()
     if mask is None:
         return err.mean()
     m = np.asarray(mask, dtype=np.float64)
     denom = max(m.sum(), 1.0)
-    return (err * Tensor(m)).sum() * (1.0 / denom)
+    return (err * _target_tensor(pred, mask)).sum() * (1.0 / denom)
 
 
 def l2_regularisation(params, coeff: float) -> Tensor:

@@ -1,21 +1,42 @@
-"""Reverse-mode autodiff on NumPy arrays.
+"""Reverse-mode autodiff on NumPy arrays, over a lazy execution engine.
 
 The DL substrate of this reproduction (the paper's TensorFlow/Keras and
-pyTorch stand-in).  A :class:`Tensor` wraps an ``ndarray``; operations build
+pyTorch stand-in).  A :class:`Tensor` wraps either a realized ``ndarray``
+or a recorded :class:`~repro.ml.engine.graph.LazyExpr`; operations build
 a DAG of closures and :meth:`Tensor.backward` runs reverse topological
 accumulation.  All arithmetic is broadcasting-aware: gradients are summed
 back over broadcast dimensions (:func:`unbroadcast`).
 
+Execution modes (``ENGINE=eager|lazy``, see :mod:`repro.ml.engine`):
+
+* **eager** (default) — every op calls NumPy immediately, exactly the
+  original op-by-op path;
+* **lazy** — primitive ops record graph nodes; demanding bytes
+  (``.data``, ``.item()``, ``backward()``, a boundary op such as conv2d)
+  schedules the pending subgraph through the fuser and runs fused
+  kernels on the current device (``cpu`` or ``sim-gpu``).
+
+Both modes are bit-identical by construction: fused kernels replay the
+same ufunc sequence in the same order, only eliding intermediate buffer
+allocations.  Dtypes are preserved — float32 stays float32 end-to-end;
+integer inputs promote to float64 (gradients need a float domain); a
+python scalar operand adopts the tensor's dtype (weak promotion), so
+``x * 0.5`` never silently upcasts a float32 model.
+
 Everything is vectorised NumPy — per the optimisation guides, no Python
-loops inside kernels; convolutions (in :mod:`repro.ml.functional`) lower to
-im2col matmuls.
+loops inside kernels; convolutions (in :mod:`repro.ml.functional`) lower
+to im2col matmuls and act as (eager) boundary ops for the lazy graph.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
+
+from repro.ml.engine import state as _engine_state
+from repro.ml.engine.graph import LazyExpr
+from repro.ml.engine.stats import STATS as _STATS
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list]
 
@@ -35,10 +56,20 @@ def unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-class Tensor:
-    """A differentiable array."""
+def _eager(arr: np.ndarray) -> np.ndarray:
+    """Count one eager op + its output allocation when stats are on."""
+    st = _STATS
+    if st.enabled:
+        st.eager_ops += 1
+        st.eager_alloc_bytes += arr.nbytes
+    return arr
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+class Tensor:
+    """A differentiable array (realized or lazily recorded)."""
+
+    __slots__ = ("_data", "_lazy", "grad", "requires_grad", "_backward",
+                 "_prev", "name")
     __array_priority__ = 100  # numpy defers binary ops to us
 
     def __init__(
@@ -49,36 +80,90 @@ class Tensor:
         name: str = "",
     ) -> None:
         if isinstance(data, Tensor):
-            data = data.data
-        arr = np.asarray(data)
-        if arr.dtype.kind != "f":
-            arr = arr.astype(np.float64)
-        self.data = arr
+            data = data._lazy if data._data is None else data._data
+        if isinstance(data, LazyExpr):
+            self._data: Optional[np.ndarray] = None
+            self._lazy: Optional[LazyExpr] = data
+        else:
+            arr = np.asarray(data)
+            if arr.dtype.kind != "f":
+                # Integers/bools promote (gradients live in a float
+                # domain); float32/float16 are preserved as-is.
+                arr = arr.astype(np.float64)
+            self._data = arr
+            self._lazy = None
         self.grad: Optional[np.ndarray] = None
         self.requires_grad = requires_grad
         self._backward: Callable[[], None] = lambda: None
         self._prev = _prev
         self.name = name
 
+    # -- lazy plumbing ---------------------------------------------------------
+    @property
+    def data(self) -> np.ndarray:
+        """The realized ndarray (forces lazy evaluation on demand)."""
+        d = self._data
+        if d is None:
+            d = self._lazy.realize()
+            self._data = d
+        return d
+
+    @data.setter
+    def data(self, value: np.ndarray) -> None:
+        self._data = value
+        self._lazy = None          # any recorded expr is stale now
+
+    def _payload(self) -> LazyExpr:
+        """This tensor as a lazy-graph input (memoized leaf if realized)."""
+        lz = self._lazy
+        if lz is None:
+            lz = LazyExpr.leaf(self._data)
+            self._lazy = lz
+        return lz
+
+    @property
+    def realized(self) -> bool:
+        return self._data is not None
+
+    def realize(self) -> "Tensor":
+        """Force materialization (no-op in eager mode)."""
+        _ = self.data
+        return self
+
+    def _fwd(self, op: str, *others: "Tensor", **kwargs) -> object:
+        """Forward payload for a primitive op: LazyExpr (lazy) or None
+        (eager — caller computes the ndarray inline)."""
+        if _engine_state.lazy:
+            return LazyExpr.make(
+                op, (self._payload(),) + tuple(t._payload() for t in others),
+                **kwargs)
+        return None
+
     # -- introspection --------------------------------------------------------
     @property
     def shape(self) -> tuple[int, ...]:
-        return self.data.shape
+        d = self._data
+        return d.shape if d is not None else self._lazy.shape
 
     @property
     def ndim(self) -> int:
-        return self.data.ndim
+        return len(self.shape)
 
     @property
     def size(self) -> int:
-        return self.data.size
+        d = self._data
+        return d.size if d is not None else self._lazy.size
 
     @property
     def dtype(self):
-        return self.data.dtype
+        d = self._data
+        return d.dtype if d is not None else self._lazy.dtype
 
     def __len__(self) -> int:
-        return len(self.data)
+        shape = self.shape
+        if not shape:
+            raise TypeError("len() of unsized object")
+        return shape[0]
 
     def __repr__(self) -> str:
         grad_flag = ", requires_grad=True" if self.requires_grad else ""
@@ -91,7 +176,8 @@ class Tensor:
         return float(self.data)
 
     def detach(self) -> "Tensor":
-        return Tensor(self.data, requires_grad=False)
+        return Tensor(self._lazy if self._data is None else self._data,
+                      requires_grad=False)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -136,213 +222,228 @@ class Tensor:
     def as_tensor(x: ArrayLike) -> "Tensor":
         return x if isinstance(x, Tensor) else Tensor(x)
 
+    def _coerce(self, x: ArrayLike) -> "Tensor":
+        """Like :meth:`as_tensor`, but a python/0-d numeric scalar adopts
+        this tensor's float dtype (weak promotion — a literal constant
+        must not upcast a float32 graph to float64)."""
+        if isinstance(x, Tensor):
+            return x
+        arr = np.asarray(x)
+        if arr.ndim == 0 and arr.dtype.kind in "bif" and self.dtype.kind == "f":
+            return Tensor(arr.astype(self.dtype))
+        return Tensor(arr)
+
     # -- arithmetic -------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = Tensor.as_tensor(other)
-        out = Tensor(
-            self.data + other.data,
-            requires_grad=Tensor._needs_grad(self, other),
-            _prev=(self, other),
-        )
+        other = self._coerce(other)
+        rg = self.requires_grad or other.requires_grad
+        data = self._fwd("add", other)
+        if data is None:
+            data = _eager(self.data + other.data)
+        out = Tensor(data, requires_grad=rg,
+                     _prev=(self, other) if rg else ())
+        if rg:
+            def backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(out.grad, self.shape))
+                if other.requires_grad:
+                    other._accumulate(unbroadcast(out.grad, other.shape))
 
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(out.grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(out.grad, other.shape))
-
-        out._backward = backward
+            out._backward = backward
         return out
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = Tensor.as_tensor(other)
-        out = Tensor(
-            self.data * other.data,
-            requires_grad=Tensor._needs_grad(self, other),
-            _prev=(self, other),
-        )
+        other = self._coerce(other)
+        rg = self.requires_grad or other.requires_grad
+        data = self._fwd("mul", other)
+        if data is None:
+            data = _eager(self.data * other.data)
+        out = Tensor(data, requires_grad=rg,
+                     _prev=(self, other) if rg else ())
+        if rg:
+            def backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(out.grad * other.data,
+                                                 self.shape))
+                if other.requires_grad:
+                    other._accumulate(unbroadcast(out.grad * self.data,
+                                                  other.shape))
 
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(out.grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(out.grad * self.data, other.shape))
-
-        out._backward = backward
+            out._backward = backward
         return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
-        return self + (-Tensor.as_tensor(other))
+        return self + (-self._coerce(other))
 
     def __neg__(self) -> "Tensor":
-        out = Tensor(-self.data, requires_grad=self.requires_grad, _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
+        rg = self.requires_grad
+        data = self._fwd("neg")
+        if data is None:
+            data = _eager(-self.data)
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
+        if rg:
+            def backward() -> None:
                 self._accumulate(-out.grad)
 
-        out._backward = backward
+            out._backward = backward
         return out
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = Tensor.as_tensor(other)
-        out = Tensor(
-            self.data / other.data,
-            requires_grad=Tensor._needs_grad(self, other),
-            _prev=(self, other),
-        )
+        other = self._coerce(other)
+        rg = self.requires_grad or other.requires_grad
+        data = self._fwd("div", other)
+        if data is None:
+            data = _eager(self.data / other.data)
+        out = Tensor(data, requires_grad=rg,
+                     _prev=(self, other) if rg else ())
+        if rg:
+            def backward() -> None:
+                if self.requires_grad:
+                    self._accumulate(unbroadcast(out.grad / other.data,
+                                                 self.shape))
+                if other.requires_grad:
+                    other._accumulate(unbroadcast(
+                        -out.grad * self.data / (other.data ** 2),
+                        other.shape))
 
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(out.grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(
-                    -out.grad * self.data / (other.data ** 2), other.shape))
-
-        out._backward = backward
+            out._backward = backward
         return out
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out = Tensor(self.data ** exponent, requires_grad=self.requires_grad,
-                     _prev=(self,))
+        rg = self.requires_grad
+        data = self._fwd("pow", exponent=exponent)
+        if data is None:
+            data = _eager(self.data ** exponent)
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
+        if rg:
+            def backward() -> None:
+                self._accumulate(out.grad * exponent
+                                 * self.data ** (exponent - 1))
 
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
-
-        out._backward = backward
+            out._backward = backward
         return out
 
     __radd__ = __add__
     __rmul__ = __mul__
 
     def __rsub__(self, other: ArrayLike) -> "Tensor":
-        return Tensor.as_tensor(other) - self
+        return self._coerce(other) - self
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
-        return Tensor.as_tensor(other) / self
+        return self._coerce(other) / self
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = Tensor.as_tensor(other)
-        if self.ndim < 2 or other.ndim < 2:
-            raise ValueError("matmul requires operands of ndim >= 2")
-        out = Tensor(
-            self.data @ other.data,
-            requires_grad=Tensor._needs_grad(self, other),
-            _prev=(self, other),
-        )
+        if self.ndim == 0 or other.ndim == 0:
+            raise ValueError("matmul does not support 0-d operands")
+        # NumPy semantics for 1-D operands: lift, contract, squeeze.  The
+        # lift runs through autograd reshapes, so unbroadcast gradients
+        # come out right for vec·mat, mat·vec and vec·vec for free.
+        a = self.reshape(1, self.shape[0]) if self.ndim == 1 else self
+        b = other.reshape(other.shape[0], 1) if other.ndim == 1 else other
+        out = a._matmul2d(b)
+        if self.ndim == 1 and other.ndim == 1:
+            return out.reshape(())
+        if self.ndim == 1:
+            return out.reshape(out.shape[:-2] + out.shape[-1:])
+        if other.ndim == 1:
+            return out.reshape(out.shape[:-1])
+        return out
 
-        def backward() -> None:
-            g = out.grad
-            a, b = self.data, other.data
-            if self.requires_grad:
-                ga = g @ np.swapaxes(b, -1, -2)
-                self._accumulate(unbroadcast(ga, a.shape))
-            if other.requires_grad:
-                gb = np.swapaxes(a, -1, -2) @ g
-                other._accumulate(unbroadcast(gb, b.shape))
+    def _matmul2d(self, other: "Tensor") -> "Tensor":
+        """Batched matmul, both operands of ndim >= 2."""
+        rg = self.requires_grad or other.requires_grad
+        data = self._fwd("matmul", other)
+        if data is None:
+            data = _eager(self.data @ other.data)
+        out = Tensor(data, requires_grad=rg,
+                     _prev=(self, other) if rg else ())
+        if rg:
+            def backward() -> None:
+                g = out.grad
+                a, b = self.data, other.data
+                if self.requires_grad:
+                    ga = g @ np.swapaxes(b, -1, -2)
+                    self._accumulate(unbroadcast(ga, a.shape))
+                if other.requires_grad:
+                    gb = np.swapaxes(a, -1, -2) @ g
+                    other._accumulate(unbroadcast(gb, b.shape))
 
-        out._backward = backward
+            out._backward = backward
         return out
 
     # -- elementwise nonlinearities ------------------------------------------------
-    def exp(self) -> "Tensor":
-        out = Tensor(np.exp(self.data), requires_grad=self.requires_grad, _prev=(self,))
+    def _unary(self, op: str, eager_fn, backward_fn, **kwargs) -> "Tensor":
+        """Shared scaffold: forward via engine or ``eager_fn(ndarray)``,
+        backward via ``backward_fn(self, out)`` (deferred — nothing reads
+        ``.data`` until gradients actually flow)."""
+        rg = self.requires_grad
+        data = self._fwd(op, **kwargs)
+        if data is None:
+            data = _eager(eager_fn(self.data))
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
+        if rg:
+            def backward() -> None:
+                self._accumulate(backward_fn(self, out))
 
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * out.data)
-
-        out._backward = backward
+            out._backward = backward
         return out
+
+    def exp(self) -> "Tensor":
+        return self._unary("exp", np.exp,
+                           lambda t, out: out.grad * out.data)
 
     def log(self) -> "Tensor":
-        out = Tensor(np.log(self.data), requires_grad=self.requires_grad, _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad / self.data)
-
-        out._backward = backward
-        return out
+        return self._unary("log", np.log,
+                           lambda t, out: out.grad / t.data)
 
     def sqrt(self) -> "Tensor":
         return self ** 0.5
 
     def tanh(self) -> "Tensor":
-        out = Tensor(np.tanh(self.data), requires_grad=self.requires_grad, _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * (1.0 - out.data ** 2))
-
-        out._backward = backward
-        return out
+        return self._unary("tanh", np.tanh,
+                           lambda t, out: out.grad * (1.0 - out.data ** 2))
 
     def sigmoid(self) -> "Tensor":
-        sig = 1.0 / (1.0 + np.exp(-self.data))
-        out = Tensor(sig, requires_grad=self.requires_grad, _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * out.data * (1.0 - out.data))
-
-        out._backward = backward
-        return out
+        return self._unary(
+            "sigmoid", lambda d: 1.0 / (1.0 + np.exp(-d)),
+            lambda t, out: out.grad * out.data * (1.0 - out.data))
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        out = Tensor(self.data * mask, requires_grad=self.requires_grad, _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * mask)
-
-        out._backward = backward
-        return out
+        return self._unary("relu", lambda d: d * (d > 0),
+                           lambda t, out: out.grad * (t.data > 0))
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        out = Tensor(np.abs(self.data), requires_grad=self.requires_grad, _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * sign)
-
-        out._backward = backward
-        return out
+        return self._unary("abs", np.abs,
+                           lambda t, out: out.grad * np.sign(t.data))
 
     def clip(self, lo: float, hi: float) -> "Tensor":
-        mask = (self.data >= lo) & (self.data <= hi)
-        out = Tensor(np.clip(self.data, lo, hi),
-                     requires_grad=self.requires_grad, _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(out.grad * mask)
-
-        out._backward = backward
-        return out
+        return self._unary(
+            "clip", lambda d: np.clip(d, lo, hi),
+            lambda t, out: out.grad * ((t.data >= lo) & (t.data <= hi)),
+            lo=lo, hi=hi)
 
     # -- reductions -------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out = Tensor(self.data.sum(axis=axis, keepdims=keepdims),
-                     requires_grad=self.requires_grad, _prev=(self,))
+        rg = self.requires_grad
+        data = self._fwd("sum", axis=axis, keepdims=keepdims)
+        if data is None:
+            data = _eager(self.data.sum(axis=axis, keepdims=keepdims))
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
+        if rg:
+            def backward() -> None:
+                g = out.grad
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % self.ndim for a in axes)
+                    shape = [1 if i in axes else s
+                             for i, s in enumerate(self.shape)]
+                    g = g.reshape(shape)
+                self._accumulate(np.broadcast_to(g, self.shape).copy())
 
-        def backward() -> None:
-            if not self.requires_grad:
-                return
-            g = out.grad
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                axes = tuple(a % self.ndim for a in axes)
-                shape = [1 if i in axes else s for i, s in enumerate(self.shape)]
-                g = g.reshape(shape)
-            self._accumulate(np.broadcast_to(g, self.shape).copy())
-
-        out._backward = backward
+            out._backward = backward
         return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -353,26 +454,29 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-        out = Tensor(out_data, requires_grad=self.requires_grad, _prev=(self,))
+        rg = self.requires_grad
+        data = self._fwd("max", axis=axis, keepdims=keepdims)
+        if data is None:
+            data = _eager(self.data.max(axis=axis, keepdims=keepdims))
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
+        if rg:
+            def backward() -> None:
+                g = out.grad
+                ref = out.data
+                if axis is not None and not keepdims:
+                    axes = axis if isinstance(axis, tuple) else (axis,)
+                    axes = tuple(a % self.ndim for a in axes)
+                    shape = [1 if i in axes else s
+                             for i, s in enumerate(self.shape)]
+                    g = g.reshape(shape)
+                    ref = ref.reshape(shape)
+                mask = (self.data == ref)
+                # Split gradient evenly among ties (rare but keeps sums exact).
+                counts = mask.sum(axis=axis, keepdims=True) \
+                    if axis is not None else mask.sum()
+                self._accumulate(mask * g / counts)
 
-        def backward() -> None:
-            if not self.requires_grad:
-                return
-            g = out.grad
-            ref = out.data
-            if axis is not None and not keepdims:
-                axes = axis if isinstance(axis, tuple) else (axis,)
-                axes = tuple(a % self.ndim for a in axes)
-                shape = [1 if i in axes else s for i, s in enumerate(self.shape)]
-                g = g.reshape(shape)
-                ref = ref.reshape(shape)
-            mask = (self.data == ref)
-            # Split gradient evenly among ties (rare but keeps sums exact).
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * g / counts)
-
-        out._backward = backward
+            out._backward = backward
         return out
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -384,29 +488,34 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = Tensor(self.data.reshape(shape), requires_grad=self.requires_grad,
-                     _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
+        rg = self.requires_grad
+        data = self._fwd("reshape", shape=shape)
+        if data is None:
+            data = self.data.reshape(shape)
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
+        if rg:
+            def backward() -> None:
                 self._accumulate(out.grad.reshape(self.shape))
 
-        out._backward = backward
+            out._backward = backward
         return out
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         axes = axes or tuple(reversed(range(self.ndim)))
-        out = Tensor(self.data.transpose(axes), requires_grad=self.requires_grad,
-                     _prev=(self,))
+        axes = tuple(a % self.ndim for a in axes)
+        rg = self.requires_grad
+        data = self._fwd("transpose", axes=axes)
+        if data is None:
+            data = self.data.transpose(axes)
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
         inverse = np.argsort(axes)
-
-        def backward() -> None:
-            if self.requires_grad:
+        if rg:
+            def backward() -> None:
                 self._accumulate(out.grad.transpose(inverse))
 
-        out._backward = backward
+            out._backward = backward
         return out
 
     @property
@@ -414,70 +523,79 @@ class Tensor:
         return self.transpose()
 
     def __getitem__(self, idx) -> "Tensor":
-        out = Tensor(self.data[idx], requires_grad=self.requires_grad, _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
+        # Boundary op: arbitrary indexing shapes are data-dependent, so
+        # this realizes its input rather than recording a lazy node.
+        rg = self.requires_grad
+        data = self.data[idx]
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
+        if rg:
+            def backward() -> None:
                 g = np.zeros_like(self.data)
                 np.add.at(g, idx, out.grad)
                 self._accumulate(g)
 
-        out._backward = backward
+            out._backward = backward
         return out
 
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor.as_tensor(t) for t in tensors]
+        rg = any(t.requires_grad for t in tensors)
         out = Tensor(
             np.concatenate([t.data for t in tensors], axis=axis),
-            requires_grad=any(t.requires_grad for t in tensors),
-            _prev=tuple(tensors),
+            requires_grad=rg,
+            _prev=tuple(tensors) if rg else (),
         )
         sizes = [t.shape[axis] for t in tensors]
         offsets = np.cumsum([0] + sizes)
 
-        def backward() -> None:
-            for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-                if t.requires_grad:
-                    sl = [slice(None)] * out.ndim
-                    sl[axis] = slice(int(start), int(stop))
-                    t._accumulate(out.grad[tuple(sl)])
+        if rg:
+            def backward() -> None:
+                for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+                    if t.requires_grad:
+                        sl = [slice(None)] * out.ndim
+                        sl[axis] = slice(int(start), int(stop))
+                        t._accumulate(out.grad[tuple(sl)])
 
-        out._backward = backward
+            out._backward = backward
         return out
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
         tensors = [Tensor.as_tensor(t) for t in tensors]
+        rg = any(t.requires_grad for t in tensors)
         out = Tensor(
             np.stack([t.data for t in tensors], axis=axis),
-            requires_grad=any(t.requires_grad for t in tensors),
-            _prev=tuple(tensors),
+            requires_grad=rg,
+            _prev=tuple(tensors) if rg else (),
         )
 
-        def backward() -> None:
-            for i, t in enumerate(tensors):
-                if t.requires_grad:
-                    t._accumulate(np.take(out.grad, i, axis=axis))
+        if rg:
+            def backward() -> None:
+                for i, t in enumerate(tensors):
+                    if t.requires_grad:
+                        t._accumulate(np.take(out.grad, i, axis=axis))
 
-        out._backward = backward
+            out._backward = backward
         return out
 
     def pad2d(self, pad: int) -> "Tensor":
         """Zero-pad the last two axes symmetrically (NCHW images)."""
         if pad == 0:
             return self
-        widths = [(0, 0)] * (self.ndim - 2) + [(pad, pad), (pad, pad)]
-        out = Tensor(np.pad(self.data, widths), requires_grad=self.requires_grad,
-                     _prev=(self,))
-
-        def backward() -> None:
-            if self.requires_grad:
+        rg = self.requires_grad
+        data = self._fwd("pad2d", pad=pad)
+        if data is None:
+            widths = [(0, 0)] * (self.ndim - 2) + [(pad, pad), (pad, pad)]
+            data = _eager(np.pad(self.data, widths))
+        out = Tensor(data, requires_grad=rg, _prev=(self,) if rg else ())
+        if rg:
+            def backward() -> None:
                 sl = tuple([slice(None)] * (self.ndim - 2)
                            + [slice(pad, -pad), slice(pad, -pad)])
                 self._accumulate(out.grad[sl])
 
-        out._backward = backward
+            out._backward = backward
         return out
 
 
@@ -486,9 +604,9 @@ def tensor(data: ArrayLike, requires_grad: bool = False) -> Tensor:
     return Tensor(data, requires_grad=requires_grad)
 
 
-def zeros(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+def zeros(shape, requires_grad: bool = False, dtype=np.float64) -> Tensor:
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad)
 
 
-def ones(shape, requires_grad: bool = False) -> Tensor:
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+def ones(shape, requires_grad: bool = False, dtype=np.float64) -> Tensor:
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad)

@@ -100,9 +100,34 @@ class TestMatmulGrads:
         check_grad(lambda a, b: (a @ b).sum(),
                    rng.normal(size=(2, 3, 4)), rng.normal(size=(4, 5)))
 
-    def test_vector_rejected(self):
+    def test_vec_mat(self):
+        check_grad(lambda a, b: (a @ b).sum(),
+                   rng.normal(size=(4,)), rng.normal(size=(4, 3)))
+
+    def test_mat_vec(self):
+        check_grad(lambda a, b: (a @ b).sum(),
+                   rng.normal(size=(3, 4)), rng.normal(size=(4,)))
+
+    def test_vec_vec(self):
+        check_grad(lambda a, b: a @ b,
+                   rng.normal(size=(5,)), rng.normal(size=(5,)))
+
+    def test_batched_mat_vec(self):
+        check_grad(lambda a, b: ((a @ b) ** 2).sum(),
+                   rng.normal(size=(2, 3, 4)), rng.normal(size=(4,)))
+
+    def test_1d_values_match_numpy(self):
+        v = rng.normal(size=(4,))
+        m = rng.normal(size=(4, 3))
+        np.testing.assert_array_equal((Tensor(v) @ Tensor(m)).numpy(), v @ m)
+        np.testing.assert_array_equal((Tensor(m).T @ Tensor(v)).numpy(),
+                                      m.T @ v)
+        assert (Tensor(v) @ Tensor(v)).shape == ()
+        np.testing.assert_allclose((Tensor(v) @ Tensor(v)).item(), v @ v)
+
+    def test_scalar_operand_rejected(self):
         with pytest.raises(ValueError):
-            Tensor(np.ones(3)) @ Tensor(np.ones((3, 2)))
+            Tensor(np.ones(3)) @ Tensor(2.0)
 
 
 class TestReductionGrads:
@@ -214,6 +239,47 @@ class TestEngine:
         assert zeros((2, 2)).data.sum() == 0
         assert ones((2, 2)).data.sum() == 4
         assert tensor([1.0]).shape == (1,)
+
+
+class TestDtypePropagation:
+    """float32 stays float32 end-to-end; mixed-dtype ops follow NumPy."""
+
+    def test_float32_input_preserved(self):
+        assert Tensor(np.ones((2, 2), dtype=np.float32)).dtype == np.float32
+
+    def test_python_scalar_does_not_upcast(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32))
+        assert (x * 0.5).dtype == np.float32
+        assert (x + 1).dtype == np.float32
+        assert (2.0 - x).dtype == np.float32
+        assert (1.0 / x).dtype == np.float32
+        assert (x ** 2).dtype == np.float32
+        assert (x ** 0.5).dtype == np.float32
+
+    def test_mixed_dtype_broadcast_promotes(self):
+        a = Tensor(np.ones((3, 1), dtype=np.float32))
+        b = Tensor(np.ones((1, 4), dtype=np.float64))
+        for out in (a + b, a * b, a / b, b - a):
+            assert out.dtype == np.float64
+            assert out.shape == (3, 4)
+
+    def test_unary_chain_preserves_float32(self):
+        x = Tensor(np.full((4,), 0.5, dtype=np.float32))
+        y = x.tanh().sigmoid().relu().exp().abs().clip(0.0, 10.0)
+        assert y.dtype == np.float32
+        assert y.sum().dtype == np.float32
+
+    def test_matmul_mixed(self):
+        a = Tensor(np.ones((2, 3), dtype=np.float32))
+        b = Tensor(np.ones((3, 2), dtype=np.float64))
+        assert (a @ b).dtype == np.float64
+        assert (a @ Tensor(np.ones((3, 2), dtype=np.float32))).dtype \
+            == np.float32
+
+    def test_grad_matches_data_dtype(self):
+        x = Tensor(np.ones((2, 2), dtype=np.float32), requires_grad=True)
+        (x * x).sum().backward()
+        assert x.grad.dtype == np.float32
 
 
 class TestUnbroadcast:

@@ -284,3 +284,115 @@ class TestPooledFusionBuffers:
         got = arr.copy()
         np.divide(got, 4, out=got)
         assert np.array_equal(got.view(np.uint64), expect.view(np.uint64))
+
+
+# ---------------------------------------------------------------------------
+# Lazy tensor engine: ENGINE=lazy replays ENGINE=eager to the bit
+# ---------------------------------------------------------------------------
+
+def _bits(arr: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(arr).view(np.uint64)
+
+
+def _assert_state_bitwise_equal(a: dict, b: dict) -> None:
+    assert set(a) == set(b)
+    for key in a:
+        assert np.array_equal(_bits(a[key]), _bits(b[key])), key
+
+
+class TestLazyEngineReplayPins:
+    """Fusion elides buffers, never reassociates math: every workload
+    below must produce bitwise-identical outputs under both engines."""
+
+    def _run_both(self, workload):
+        from repro.ml import engine
+        with engine.engine("eager"):
+            eager = workload()
+        with engine.engine("lazy"):
+            lazy = workload()
+        return eager, lazy
+
+    def test_mlp_training_loop_bitwise_identical(self):
+        rng = np.random.default_rng(11)
+        X = rng.normal(size=(48, 12))
+        Y = rng.integers(0, 3, size=48)
+
+        def train():
+            model = MLP([12, 19, 3], seed=4)
+            opt = SGD(model.parameters(), lr=0.05)
+            losses = []
+            for step in range(6):
+                lo = (step * 16) % 48
+                loss = cross_entropy(model(Tensor(X[lo:lo + 16])),
+                                     Y[lo:lo + 16])
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+            return losses, {k: v.copy()
+                            for k, v in model.state_dict().items()}
+
+        (el, ew), (ll, lw) = self._run_both(train)
+        assert el == ll
+        _assert_state_bitwise_equal(ew, lw)
+
+    def test_gru_forward_bitwise_identical(self):
+        from repro.ml.models import GruForecaster
+
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 10, 6))
+
+        def forward():
+            model = GruForecaster(n_features=6, hidden=8, seed=2)
+            model.eval()
+            return model(Tensor(x)).numpy().copy()
+
+        eager, lazy = self._run_both(forward)
+        assert np.array_equal(_bits(eager), _bits(lazy))
+
+    def test_conv_model_forward_bitwise_identical(self):
+        from repro.ml.models import resnet_small
+
+        rng = np.random.default_rng(8)
+        x = rng.normal(size=(2, 3, 8, 8))
+
+        def forward():
+            model = resnet_small(in_channels=3, n_classes=4, seed=5)
+            model.eval()
+            return model(Tensor(x)).numpy().copy()
+
+        eager, lazy = self._run_both(forward)
+        assert np.array_equal(_bits(eager), _bits(lazy))
+
+    def test_devices_agree_to_the_bit(self):
+        from repro.ml import engine
+
+        rng = np.random.default_rng(17)
+        xs = rng.normal(size=(32, 32))
+
+        def chain():
+            x = Tensor(xs)
+            return ((x * 3.0 + 0.5).tanh().sigmoid()
+                    + (x @ x).relu()).sum(axis=0).numpy().copy()
+
+        with engine.engine("lazy"):
+            with engine.use_device("cpu"):
+                on_cpu = chain()
+            with engine.use_device("sim-gpu"):
+                on_a100 = chain()
+            with engine.use_device("sim-gpu:v100"):
+                on_v100 = chain()
+        assert np.array_equal(_bits(on_cpu), _bits(on_a100))
+        assert np.array_equal(_bits(on_cpu), _bits(on_v100))
+
+    def test_out_buffer_reuse_matches_fresh_allocation(self):
+        """ufunc(..., out=dying_temp) is the only trick the fused
+        executor plays; pin that it cannot perturb values."""
+        rng = np.random.default_rng(23)
+        x = rng.normal(size=(257,))
+        fresh = np.exp(np.tanh(x * 2.0 + 1.0))
+        reused = np.multiply(x, 2.0)
+        np.add(reused, 1.0, out=reused)
+        np.tanh(reused, out=reused)
+        np.exp(reused, out=reused)
+        assert np.array_equal(_bits(fresh), _bits(reused))
