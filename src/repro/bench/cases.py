@@ -625,5 +625,83 @@ def serving_latency_tail(quick: bool, seed: int) -> CaseRun:
     )
 
 
+def _defended_workload(quick: bool, seed: int, defend: bool, hedge: bool):
+    """One serving run against a gray-failed replica.
+
+    Capacity is pinned (autoscaler off) so the latency tail measures the
+    defense layer, not scale-up lag, and the gray failure targets the
+    booster node the first replica deterministically lands on.
+    """
+    from repro.resilience.faults import FaultInjector, FaultKind, \
+        FaultPlan, FaultSpec
+    from repro.serving import AutoscalerConfig, DefenseConfig
+    from repro.serving.engine import ServingConfig, simulate_serving
+    from repro.serving.request import TraceConfig
+
+    duration = 6.0 if quick else 12.0
+    plan = FaultPlan(seed=seed + 5, specs=(
+        FaultSpec(kind=FaultKind.GRAY_FAILURE, time=2.0, module="esb",
+                  node=0, duration=duration - 4.0, magnitude=8.0,
+                  probability=0.6),
+    ))
+    config = ServingConfig(
+        trace=TraceConfig(rate_per_s=120.0, duration_s=duration,
+                          seed=seed + 3),
+        initial_replicas=3,
+        autoscaler=AutoscalerConfig(enabled=False),
+        defense=DefenseConfig(enabled=defend, hedging_enabled=hedge),
+    )
+    return simulate_serving(config, fault_injector=FaultInjector(plan))
+
+
+@bench_case(
+    "serving_hedged_tail", area="serving",
+    budgets={
+        "defended_p99_s": Budget("lower", 0.25),
+        "p99_cut_ratio": Budget("higher", 0.20),
+        "duplicate_work_ratio": Budget("lower", 0.50),
+        "duplicate_within_budget": Budget("higher", 0.0),
+        "lost_requests": Budget("lower", 0.0),
+    },
+    description="gray-failure defense: hedged-request tail cut vs the "
+                "undefended control, duplicate-work overhead within the "
+                "15% budget",
+)
+def serving_hedged_tail(quick: bool, seed: int) -> CaseRun:
+    """Three legs over the identical trace + fault plan: bare engine,
+    defenses without hedging (isolates the breaker/brownout effect), and
+    the full defense stack.  ``p99_cut_ratio`` is the headline — how many
+    times the defended tail beats the undefended one."""
+    undefended = _defended_workload(quick, seed, defend=False, hedge=False)
+    nohedge = _defended_workload(quick, seed, defend=True, hedge=False)
+    defended = _defended_workload(quick, seed, defend=True, hedge=True)
+    dup_ratio = defended.duplicate_work_ratio
+    metrics = {
+        "undefended_p99_s": _round6(undefended.p99),
+        "nohedge_p99_s": _round6(nohedge.p99),
+        "defended_p99_s": _round6(defended.p99),
+        "p99_cut_ratio": _round6(undefended.p99 / defended.p99
+                                 if defended.p99 > 0 else 1.0),
+        "hedges_issued": float(defended.metrics.hedges_issued),
+        "hedges_backup_won": float(defended.metrics.hedges_backup_won),
+        "duplicate_work_ratio": _round6(dup_ratio),
+        "duplicate_within_budget": 1.0 if dup_ratio < 0.15 else 0.0,
+        "breaker_transitions": float(defended.breaker_transitions),
+        "lost_requests": float(defended.metrics.admitted
+                               - defended.metrics.completed),
+    }
+    digests = {
+        "undefended_report": stable_digest(undefended.to_text()),
+        "defended_report": stable_digest(defended.to_text()),
+    }
+    return CaseRun(
+        metrics=metrics, digests=digests,
+        wall_candidates={
+            "defended_serve": lambda: _defended_workload(
+                quick, seed, defend=True, hedge=True)},
+        wall_ops={"defended_serve": max(1, defended.metrics.completed)},
+    )
+
+
 def ensure_cases_loaded() -> None:
     """Importing this module registers everything; hook for the runner."""

@@ -13,6 +13,8 @@ Commands mirror the operator tasks the examples walk through:
   layer and write Chrome-trace / Prometheus / summary artifacts,
 * ``drill`` — run a resilience drill; ``drill sdc`` injects silent data
   corruption end-to-end and exits non-zero on any undetected corruption,
+  ``drill chaos`` throws partitions, gray failures and a crash at the
+  serving plane and exits non-zero if any admitted request is lost,
 * ``bench`` — run the perf-regression harness: deterministic
   ``BENCH_<area>.json`` artifacts plus wall-clock timing companions, with
   ``--compare`` failing on budgeted-metric regressions vs the committed
@@ -63,6 +65,8 @@ EXPERIMENTS = [
      "src/repro/bench/"),
     ("E18", "lazy tensor engine (fused op graphs, cpu/sim-gpu backends)",
      "src/repro/ml/engine/"),
+    ("E19", "chaos drill (partitions, gray failures, hedging, brownout)",
+     "src/repro/resilience/chaosdrill.py"),
     ("ABL", "design-choice ablations",
      "benchmarks/bench_ablations.py"),
 ]
@@ -142,6 +146,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         AdmissionPolicy,
         ArrivalPattern,
         AutoscalerConfig,
+        DefenseConfig,
         ServingConfig,
         TraceConfig,
         simulate_serving,
@@ -164,6 +169,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                     max_replicas=args.max_replicas),
         initial_replicas=args.replicas,
         cache_capacity=args.cache,
+        defense=DefenseConfig(enabled=args.defend),
     )
     injector = None
     if args.faults:
@@ -207,11 +213,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_drill(args: argparse.Namespace) -> int:
     import os
 
-    from repro.resilience.drill import run_sdc_drill
+    if args.kind == "chaos":
+        from repro.resilience.chaosdrill import run_chaos_drill
 
-    report, prometheus = run_sdc_drill(seed=args.seed, quick=args.quick,
-                                       verify=not args.no_verify)
-    out_dir = args.out or os.path.join("drills", f"sdc-seed{args.seed}")
+        report, prometheus = run_chaos_drill(seed=args.seed,
+                                             quick=args.quick,
+                                             defend=not args.no_defend)
+    else:
+        from repro.resilience.drill import run_sdc_drill
+
+        report, prometheus = run_sdc_drill(seed=args.seed, quick=args.quick,
+                                           verify=not args.no_verify)
+    out_dir = args.out or os.path.join("drills",
+                                       f"{args.kind}-seed{args.seed}")
     os.makedirs(out_dir, exist_ok=True)
     with open(os.path.join(out_dir, "report.txt"), "w") as fh:
         fh.write(report.to_text())
@@ -221,8 +235,11 @@ def cmd_drill(args: argparse.Namespace) -> int:
             fh.write("\n")
     print(report.to_text())
     print(f"artifacts written to {out_dir}/ (report.txt, metrics.prom)")
-    if report.verify and report.undetected > 0:
+    if args.kind == "sdc" and report.verify and report.undetected > 0:
         print(f"UNDETECTED CORRUPTION: {report.undetected:g}",
+              file=sys.stderr)
+    if args.kind == "chaos" and report.lost_requests > 0:
+        print(f"LOST ADMITTED REQUESTS: {report.lost_requests}",
               file=sys.stderr)
     return 0 if report.ok else 1
 
@@ -334,8 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shed arrivals beyond this queue depth (0 = off)")
     p.add_argument("--cache", type=int, default=0,
                    help="result-cache capacity in entries (0 = off)")
+    p.add_argument("--defend", action="store_true",
+                   help="arm the partition/gray-failure defenses (phi "
+                        "detector, circuit breakers, hedging, brownout)")
     p.add_argument("--faults", default="",
-                   help="fault plan, e.g. seed=7,crash=esb:2,repair=10")
+                   help="fault plan, e.g. seed=7,crash=esb:2,repair=10 or "
+                        "seed=7,chaos=partition:1,gray:2,repair=5")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("trace", help="run a traced scenario, export artifacts")
@@ -350,16 +371,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("drill", help="run a resilience drill")
-    p.add_argument("kind", choices=("sdc",),
-                   help="sdc: end-to-end silent-data-corruption drill")
+    p.add_argument("kind", choices=("sdc", "chaos"),
+                   help="sdc: end-to-end silent-data-corruption drill; "
+                        "chaos: partitions + gray failures against the "
+                        "serving plane (exits non-zero on any lost request)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--quick", action="store_true",
                    help="smaller run (CI smoke)")
     p.add_argument("--no-verify", action="store_true",
-                   help="disable detection to demonstrate the injector "
+                   help="sdc: disable detection to demonstrate the injector "
                         "(report shows the corrupted outcome)")
+    p.add_argument("--no-defend", action="store_true",
+                   help="chaos: disable the defense layer — zero loss must "
+                        "still hold (it is structural, not a defense)")
     p.add_argument("--out", default="",
-                   help="output directory (default drills/sdc-seed<N>)")
+                   help="output directory (default drills/<kind>-seed<N>)")
     p.set_defaults(fn=cmd_drill)
 
     p = sub.add_parser("bench", help="run the perf-regression harness")

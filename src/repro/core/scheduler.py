@@ -211,6 +211,8 @@ class MsaScheduler:
         self._running: list[_RunningRecord] = []
         #: Recently crashed nodes per module — placement steers around them.
         self._suspect: dict[str, set[int]] = {}
+        #: Live health feeds (callables returning {module: nodes} suspicion).
+        self._health_monitors: list = []
         #: Active link-degradation factors per module key.
         self._degraded: dict[str, list[float]] = {}
         self.injector = fault_injector
@@ -353,9 +355,31 @@ class MsaScheduler:
         telemetry.get_registry().counter(
             "scheduler_quarantined_nodes_total", module=module_key).inc()
 
+    def attach_health_monitor(self, monitor) -> None:
+        """Feed live health suspicion into placement decisions.
+
+        ``monitor`` is a callable returning ``{module_key: set_of_nodes}``
+        currently suspected by a health detector — phi-accrual suspicion,
+        gray nodes, partitioned nodes.  It is consulted at every
+        allocation, so unlike crash suspects the avoided set shrinks again
+        the moment a component recovers.
+        """
+        if not callable(monitor):
+            raise TypeError("health monitor must be callable")
+        self._health_monitors.append(monitor)
+
+    def _avoid_nodes(self, module_key: str) -> Optional[set]:
+        """Nodes placement should steer around: crash suspects plus any
+        live suspicion reported by attached health monitors."""
+        avoid = set(self._suspect.get(module_key, ()))
+        for monitor in self._health_monitors:
+            avoid.update(monitor().get(module_key, ()))
+        return avoid or None
+
     def suspect_nodes(self, module_key: str) -> frozenset:
-        """Currently suspect nodes of a module (crashed or quarantined)."""
-        return frozenset(self._suspect.get(module_key, ()))
+        """Currently suspect nodes of a module (crashed, quarantined, or
+        health-monitor suspected)."""
+        return frozenset(self._avoid_nodes(module_key) or ())
 
     def _fail_running(self, record: _RunningRecord, spec: FaultSpec) -> None:
         """Kill a phase in flight: retract its completion, refund the tail,
@@ -584,7 +608,7 @@ class MsaScheduler:
                             lane="queue", job=state.job.name,
                             modules=",".join(sorted({k for k, *_ in plan})))
         for key, module, n, _, component in plan:
-            nodes = tuple(module.allocate(n, avoid=self._suspect.get(key)))
+            nodes = tuple(module.allocate(n, avoid=self._avoid_nodes(key)))
             placements.append((key, nodes))
             alloc = Allocation(
                 job_name=state.job.name,
@@ -640,7 +664,7 @@ class MsaScheduler:
             usable = choice is not None and choice[0] not in blocked
             if usable:
                 key, module, n, runtime = choice
-                nodes = tuple(module.allocate(n, avoid=self._suspect.get(key)))
+                nodes = tuple(module.allocate(n, avoid=self._avoid_nodes(key)))
                 start = self.sim.now
                 end = start + runtime
                 if state.first_start is None:

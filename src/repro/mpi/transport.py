@@ -18,6 +18,8 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.simnet.link import PartitionWindow
+
 ANY_SOURCE = -1
 ANY_TAG = -1
 
@@ -49,6 +51,26 @@ class Message:
     payload: Any
     send_time: float
     nbytes: int
+
+
+@dataclass(frozen=True)
+class PartitionSchedule:
+    """A NETWORK_PARTITION window applied to the SPMD fabric.
+
+    ``far_ranks`` is one side of the bipartition; a message whose source
+    and destination sit on opposite sides while the window is active (on
+    the *sender's* simulated clock) stalls until the cut heals, then
+    lands after a retransmission burst — TCP-over-a-partition semantics:
+    delayed, never silently lost, so collectives finish late instead of
+    deadlocking and the zero-loss invariant survives the fault.
+    """
+
+    window: PartitionWindow
+    far_ranks: frozenset
+    retransmit_s: float = 1e-3
+
+    def crosses(self, source: int, dest: int) -> bool:
+        return (source in self.far_ranks) != (dest in self.far_ranks)
 
 
 @dataclass
@@ -94,6 +116,37 @@ class Transport:
         self.states = [RankState(rank=r) for r in range(world_size)]
         self._context_lock = threading.Lock()
         self._next_context = 1  # 0 is COMM_WORLD
+        self._partitions: list[PartitionSchedule] = []
+        #: Messages that hit an active cut and were stalled to heal time.
+        self.partition_stalled = 0
+
+    # -- partitions ----------------------------------------------------------
+    def install_partition(self, schedule: PartitionSchedule) -> None:
+        """Arm a partition window on this fabric (several may overlap)."""
+        bad = [r for r in schedule.far_ranks
+               if not (0 <= r < self.world_size)]
+        if bad:
+            raise ValueError(f"far ranks {bad} out of range")
+        self._partitions.append(schedule)
+
+    def _apply_partitions(self, dest: int, msg: Message) -> None:
+        """Stall ``msg`` past every active cut it crosses (sender clock).
+
+        A stalled message may land inside a later window, so iterate to a
+        fixed point — bounded by the number of installed schedules since
+        each can only push the send time forward past its own end.
+        """
+        for _ in range(len(self._partitions) + 1):
+            stall = max((p.window.delay_until_heal(msg.send_time)
+                         + p.retransmit_s
+                         for p in self._partitions
+                         if p.crosses(msg.source, dest)
+                         and p.window.active(msg.send_time)),
+                        default=0.0)
+            if stall <= 0.0:
+                return
+            msg.send_time += stall
+            self.partition_stalled += 1
 
     # -- failure propagation ----------------------------------------------
     def abort(self) -> None:
@@ -116,6 +169,8 @@ class Transport:
     def put(self, dest: int, msg: Message) -> None:
         if not (0 <= dest < self.world_size):
             raise ValueError(f"destination rank {dest} out of range")
+        if self._partitions:
+            self._apply_partitions(dest, msg)
         cond = self._conditions[dest]
         with cond:
             self._mailboxes[dest].append(msg)

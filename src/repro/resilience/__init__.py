@@ -11,8 +11,13 @@ layer for the simulation:
   detection: checksummed message envelopes, the ABFT-verified allreduce
   (:class:`IntegrityConfig`, :class:`CorruptionInjector`) and the
   injected/detected/undetected reconciliation,
+* :mod:`repro.resilience.detect` — the phi-accrual failure detector and
+  structured :class:`ComponentHealth` reports shared by the serving,
+  scheduling and storage planes,
 * :mod:`repro.resilience.drill` — the end-to-end SDC drill behind
   ``repro drill sdc`` (:func:`run_sdc_drill`),
+* :mod:`repro.resilience.chaosdrill` — the partition / gray-failure drill
+  behind ``repro drill chaos`` (:func:`run_chaos_drill`),
 * :mod:`repro.resilience.retry` — exponential backoff with deterministic
   jitter (:class:`RetryPolicy`),
 * :mod:`repro.resilience.policy` — checkpoint cadence/placement
@@ -24,6 +29,12 @@ With an empty plan the layer is zero-cost: no events are scheduled and
 every existing workload produces byte-identical results.
 """
 
+from repro.resilience.chaosdrill import ChaosDrillReport, run_chaos_drill
+from repro.resilience.detect import (
+    ComponentHealth,
+    DetectorConfig,
+    PhiAccrualDetector,
+)
 from repro.resilience.faults import (
     DATA_FAULTS,
     FaultInjector,
@@ -31,6 +42,7 @@ from repro.resilience.faults import (
     FaultPlan,
     FaultPlanError,
     FaultSpec,
+    partition_cut,
 )
 from repro.resilience.integrity import (
     CorruptionInjector,
@@ -49,10 +61,16 @@ from repro.resilience.report import (
     RequeueEvent,
     ResilienceReport,
 )
-from repro.resilience.retry import NO_RETRY, RetryPolicy
+from repro.resilience.retry import NO_RETRY, RetryBudget, RetryPolicy
 
 __all__ = [
+    "ChaosDrillReport",
+    "run_chaos_drill",
+    "ComponentHealth",
+    "DetectorConfig",
+    "PhiAccrualDetector",
     "DATA_FAULTS",
+    "partition_cut",
     "FaultInjector",
     "FaultKind",
     "FaultPlan",
@@ -71,6 +89,7 @@ __all__ = [
     "RecoveryEvent",
     "RequeueEvent",
     "ResilienceReport",
+    "RetryBudget",
     "RetryPolicy",
     "NO_RETRY",
 ]

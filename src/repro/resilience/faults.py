@@ -21,6 +21,19 @@ Fault classes:
 * ``RANK_KILL``      — a training rank is lost at a given global step
   (consumed by the elastic trainer, not by the scheduler clock).
 
+Ambiguous-failure classes (the gray zone production serving actually
+lives in — consumed by the failure detector, circuit breakers and the
+partition-aware transports, see :mod:`repro.resilience.detect`):
+
+* ``NETWORK_PARTITION`` — a seeded bipartition of nodes for a window:
+  traffic crossing the cut is dropped/timed out until the partition
+  heals (``probability`` is the fraction of nodes on the far side;
+  the cut itself comes from :func:`partition_cut`),
+* ``GRAY_FAILURE``      — a replica whose service time inflates by
+  ``magnitude`` while it *still answers health probes* with
+  probability ``probability`` — alive enough to fool a binary checker,
+  slow enough to wreck the tail.
+
 Silent-corruption classes (consumed by :mod:`repro.resilience.integrity`,
 never by the scheduler clock — they damage *data*, not availability):
 
@@ -56,6 +69,8 @@ class FaultKind(str, Enum):
     BITFLIP_MESSAGE = "bitflip-message"
     BITFLIP_GRADIENT = "bitflip-gradient"
     CHECKPOINT_ROT = "checkpoint-rot"
+    NETWORK_PARTITION = "network-partition"
+    GRAY_FAILURE = "gray-failure"
 
 
 #: Fault classes that are not scheduler-clock events: they are consumed by
@@ -76,8 +91,10 @@ class FaultSpec:
 
     ``time`` is simulated seconds for scheduler-clock faults and the global
     *training step* for ``RANK_KILL`` faults.  ``magnitude`` is the slowdown
-    factor for stragglers and link degradation, and the drop probability for
-    message drops.
+    factor for stragglers, link degradation and gray failures, and the drop
+    probability for message drops.  ``probability`` is the probe-answer
+    probability of a gray-failed node and the far-side node fraction of a
+    network partition (unused, 1.0, elsewhere).
     """
 
     kind: FaultKind
@@ -86,6 +103,7 @@ class FaultSpec:
     node: int = -1
     duration: float = 600.0
     magnitude: float = 1.0
+    probability: float = 1.0
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -104,10 +122,84 @@ class FaultSpec:
         if self.kind is FaultKind.CHECKPOINT_ROT \
                 and self.module not in ("", "nam", "pfs"):
             raise ValueError("checkpoint rot target must be 'nam' or 'pfs'")
+        if self.kind is FaultKind.GRAY_FAILURE:
+            if self.magnitude < 1.0:
+                raise ValueError("gray-failure inflation must be >= 1")
+            if not (0.0 <= self.probability <= 1.0):
+                raise ValueError("probe-answer probability must be in [0, 1]")
+        if self.kind is FaultKind.NETWORK_PARTITION \
+                and not (0.0 < self.probability < 1.0):
+            raise ValueError("partition far-side fraction must be in (0, 1)")
 
 
 class FaultPlanError(ValueError):
     """Raised for malformed fault-plan descriptions."""
+
+
+def partition_cut(seed: int, spec: FaultSpec, labels) -> frozenset:
+    """The far side of a :data:`~FaultKind.NETWORK_PARTITION` bipartition.
+
+    Each label (a node id, a ``(module, node)`` pair, a replica id …) is
+    assigned a side by a stable hash of ``(seed, spec.time, label)`` —
+    independent of iteration order, Python hash randomisation and how
+    often the cut is recomputed.  Labels whose hash falls below
+    ``spec.probability`` land on the far (unreachable) side; when two or
+    more labels exist, both sides are kept non-empty so the cut is a real
+    bipartition, never a total blackout or a no-op.
+    """
+    import hashlib
+
+    labels = list(labels)
+
+    def draw(label) -> float:
+        digest = hashlib.blake2b(
+            f"{seed}:{spec.time!r}:{label!r}".encode(),
+            digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2.0 ** 64
+
+    scored = sorted(((draw(lb), repr(lb), lb) for lb in labels))
+    far = {lb for u, _, lb in scored if u < spec.probability}
+    if len(labels) >= 2:
+        if not far:
+            far = {scored[0][2]}
+        elif len(far) == len(labels):
+            far.discard(scored[-1][2])
+    return frozenset(far)
+
+
+def _chaos_specs(
+    rng: np.random.Generator,
+    keys: list[str],
+    targets: dict[str, int],
+    n_partitions: int,
+    n_gray: int,
+    horizon_s: float,
+    window_s: float,
+) -> list[FaultSpec]:
+    """Seeded NETWORK_PARTITION / GRAY_FAILURE specs (shared by
+    :meth:`FaultPlan.chaos` and :meth:`FaultPlan.parse` so the two
+    construction paths replay identically for the same seed)."""
+    specs: list[FaultSpec] = []
+    for _ in range(n_partitions):
+        specs.append(FaultSpec(
+            kind=FaultKind.NETWORK_PARTITION,
+            time=float(rng.uniform(0.0, horizon_s * 0.5)),
+            duration=window_s,
+            probability=float(rng.uniform(0.25, 0.5)),
+        ))
+    for _ in range(n_gray):
+        key = keys[int(rng.integers(len(keys)))] if keys else ""
+        n_nodes = targets.get(key, 1)
+        specs.append(FaultSpec(
+            kind=FaultKind.GRAY_FAILURE,
+            time=float(rng.uniform(0.0, horizon_s * 0.5)),
+            module=key,
+            node=int(rng.integers(max(n_nodes, 1))),
+            duration=window_s,
+            magnitude=float(rng.uniform(2.0, 6.0)),
+            probability=float(rng.uniform(0.3, 0.8)),
+        ))
+    return specs
 
 
 @dataclass(frozen=True)
@@ -161,6 +253,27 @@ class FaultPlan:
         """Per-message corruption probability (0 when the plan has none)."""
         flips = self.of_kind(FaultKind.BITFLIP_MESSAGE)
         return flips[0].magnitude if flips else 0.0
+
+    @property
+    def has_chaos(self) -> bool:
+        """True when the plan carries any ambiguous (gray-zone) fault."""
+        return any(s.kind in (FaultKind.NETWORK_PARTITION,
+                              FaultKind.GRAY_FAILURE)
+                   for s in self.specs)
+
+    def chaos_clause(self) -> str:
+        """The canonical ``chaos=…`` clause describing this plan's
+        ambiguous faults (empty string when it has none); feeding it back
+        through :meth:`parse` with the same seed/targets/horizon/repair
+        reproduces the same specs (round-trip property, tested)."""
+        parts = []
+        n_partition = len(self.of_kind(FaultKind.NETWORK_PARTITION))
+        n_gray = len(self.of_kind(FaultKind.GRAY_FAILURE))
+        if n_partition:
+            parts.append(f"partition:{n_partition}")
+        if n_gray:
+            parts.append(f"gray:{n_gray}")
+        return "chaos=" + ",".join(parts) if parts else ""
 
     @property
     def has_corruption(self) -> bool:
@@ -276,6 +389,31 @@ class FaultPlan:
                                    time=float(step), module=target))
         return cls(seed=seed, specs=tuple(specs))
 
+    @classmethod
+    def chaos(
+        cls,
+        seed: int,
+        targets: Optional[dict[str, int]] = None,
+        horizon_s: float = 3600.0,
+        n_partitions: int = 1,
+        n_gray: int = 1,
+        window_s: float = 600.0,
+    ) -> "FaultPlan":
+        """A seeded partition + gray-failure campaign.
+
+        ``n_partitions`` network bipartition windows and ``n_gray``
+        gray-failure episodes, each ``window_s`` long, with start times
+        in the first half of ``horizon_s`` so every window can heal
+        before the horizon.  Identical to
+        ``parse(f"seed={seed},chaos=partition:{n},gray:{m}", …)``.
+        """
+        targets = dict(targets or {})
+        rng = np.random.default_rng(seed)
+        specs = _chaos_specs(rng, sorted(targets), targets,
+                             n_partitions, n_gray, horizon_s, window_s)
+        specs.sort(key=lambda s: (s.time, s.kind.value, s.module, s.node))
+        return cls(seed=seed, specs=tuple(specs))
+
     def merged(self, other: "FaultPlan") -> "FaultPlan":
         """This plan plus ``other``'s specs (this plan's seed wins)."""
         specs = list(self.specs) + list(other.specs)
@@ -300,9 +438,13 @@ class FaultPlan:
         * ``drop=0.05``         — 5% message drop probability,
         * ``bitflip=0.01``      — 1% per-message silent-corruption probability,
         * ``horizon=3600``      — fault window in simulated seconds,
-        * ``repair=600``        — node repair time in simulated seconds.
+        * ``repair=600``        — node repair / fault window length (s),
+        * ``chaos=partition:1,gray:2`` — 1 seeded network-bipartition
+          window and 2 gray-failure episodes (``name:count`` terms after
+          the ``chaos=`` clause continue it, so the comma form reads
+          naturally on the command line).
 
-        Example: ``--faults seed=7,crash=cm:2``.
+        Example: ``--faults seed=7,crash=cm:2,chaos=partition:1,gray:1``.
         """
         targets = dict(targets or {})
         seed = 0
@@ -317,12 +459,37 @@ class FaultPlan:
         kind_names = {"crash": FaultKind.NODE_CRASH,
                       "straggler": FaultKind.STRAGGLER,
                       "degrade": FaultKind.LINK_DEGRADE}
+        chaos_counts = {"partition": 0, "gray": 0}
+
+        def add_chaos(term: str) -> None:
+            name, _, count = term.partition(":")
+            name = name.strip().lower()
+            if name not in chaos_counts:
+                raise FaultPlanError(
+                    f"unknown chaos fault {name!r} "
+                    f"(choose from {sorted(chaos_counts)})")
+            chaos_counts[name] += int(count) if count.strip() else 1
+
+        in_chaos = False
         for clause in filter(None, (c.strip() for c in text.split(","))):
             if "=" not in clause:
+                # A bare name:count term continues a preceding chaos=
+                # clause — the documented comma grammar
+                # ``chaos=partition:1,gray:2`` splits into two tokens.
+                if in_chaos and ":" in clause:
+                    try:
+                        add_chaos(clause)
+                    except ValueError as exc:
+                        if isinstance(exc, FaultPlanError):
+                            raise
+                        raise FaultPlanError(
+                            f"malformed value in clause {clause!r}") from exc
+                    continue
                 raise FaultPlanError(f"expected key=value, got {clause!r}")
             key, _, value = clause.partition("=")
             key = key.strip().lower()
             value = value.strip()
+            in_chaos = False
             try:
                 if key == "seed":
                     seed = int(value)
@@ -334,6 +501,9 @@ class FaultPlan:
                     drop = float(value)
                 elif key == "bitflip":
                     bitflip = float(value)
+                elif key == "chaos":
+                    add_chaos(value)
+                    in_chaos = True
                 elif key in kind_names:
                     module, _, count = value.partition(":")
                     counts[kind_names[key]].append(
@@ -375,6 +545,9 @@ class FaultPlan:
                         specs.append(FaultSpec(
                             kind=kind, time=t, module=module, duration=repair,
                             magnitude=max(1.0, float(rng.uniform(1.5, 4.0)))))
+        specs.extend(_chaos_specs(rng, sorted(targets), targets,
+                                  chaos_counts["partition"],
+                                  chaos_counts["gray"], horizon, repair))
         if drop > 0.0:
             specs.append(FaultSpec(kind=FaultKind.MESSAGE_DROP, time=0.0,
                                    duration=horizon, magnitude=drop))

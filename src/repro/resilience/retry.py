@@ -82,6 +82,91 @@ class RetryPolicy:
         """The full backoff schedule for one job."""
         return [self.delay(a, key) for a in range(1, self.max_retries + 1)]
 
+    def delay_within(self, attempt: int, now: float, deadline_s: float,
+                     key: str = "") -> float:
+        """Deadline-aware jittered backoff: the :meth:`delay` for
+        ``attempt``, clamped so the retry fires no later than
+        ``deadline_s`` (absolute, same clock as ``now``).
+
+        Serving-plane retries use this instead of the raw schedule: a
+        request with 80 ms of budget left must not sleep 200 ms of
+        backoff — better to retry immediately-ish and be honest about
+        the deadline miss than to manufacture one.  Returns 0 when the
+        deadline has already passed (retry at once; the miss is already
+        a fact).
+        """
+        return max(0.0, min(self.delay(attempt, key), deadline_s - now))
+
 
 #: Retrying disabled: first failure is terminal.
 NO_RETRY = RetryPolicy(max_retries=0)
+
+
+class RetryBudget:
+    """A global cap keeping retries from amplifying an outage.
+
+    The classic failure mode: capacity drops, every failed request
+    retries, offered load doubles, the survivors drown — the retry storm
+    finishes what the outage started.  The budget (the Google SRE
+    pattern) makes retries a *fraction* of real traffic instead: each
+    admitted request earns ``ratio`` retry tokens (bounded by
+    ``burst``); a retry spends one.  ``try_spend`` refuses once the pool
+    is dry — callers convert the refused retry into a shed or skip the
+    optional work (a hedge).  ``spend_forced`` is for retries that are
+    mandatory for correctness (failover of already-admitted requests can
+    never be dropped): it may push the balance negative, and a negative
+    balance is the overload signal the brownout controller keys on.
+
+    Deterministic: plain arithmetic, no clock, no randomness.
+    """
+
+    def __init__(self, ratio: float = 0.1, burst: float = 20.0,
+                 floor: float = 5.0) -> None:
+        if ratio < 0:
+            raise ValueError("retry ratio must be non-negative")
+        if burst < 1:
+            raise ValueError("burst must hold at least one token")
+        if floor < 0:
+            raise ValueError("floor must be non-negative")
+        self.ratio = ratio
+        self.burst = burst
+        self._tokens = floor
+        self.spent = 0.0
+        self.refused = 0
+        self.forced_overdraft = 0.0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    @property
+    def exhausted(self) -> bool:
+        return self._tokens < 1.0
+
+    @property
+    def in_overdraft(self) -> bool:
+        """True while forced retries have outrun the earned budget."""
+        return self._tokens < 0.0
+
+    def note_request(self, n: float = 1.0) -> None:
+        """Earn budget: ``n`` admitted requests worth of retry tokens."""
+        if n < 0:
+            raise ValueError("cannot earn negative budget")
+        self._tokens = min(self.burst, self._tokens + n * self.ratio)
+
+    def try_spend(self, n: float = 1.0) -> bool:
+        """Spend ``n`` tokens if the pool covers them (optional work)."""
+        if self._tokens >= n:
+            self._tokens -= n
+            self.spent += n
+            return True
+        self.refused += 1
+        return False
+
+    def spend_forced(self, n: float = 1.0) -> None:
+        """Spend unconditionally (mandatory failover); may go negative."""
+        self._tokens -= n
+        self.spent += n
+        if self._tokens < 0:
+            self.forced_overdraft = max(self.forced_overdraft,
+                                        -self._tokens)

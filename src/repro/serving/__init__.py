@@ -17,8 +17,19 @@ from repro.serving.admission import (
 )
 from repro.serving.batcher import BatchPolicy, MicroBatcher
 from repro.serving.cache import ResultCache
+from repro.serving.defense import (
+    BreakerPolicy,
+    BreakerState,
+    BrownoutController,
+    BrownoutLevel,
+    BrownoutPolicy,
+    CircuitBreaker,
+    DefenseConfig,
+    HedgePolicy,
+)
 from repro.serving.engine import (
     SERVING_RETRY,
+    HedgeGroup,
     ServingConfig,
     ServingEngine,
     ServingReport,
@@ -47,6 +58,15 @@ __all__ = [
     "Autoscaler",
     "AutoscalerConfig",
     "BatchPolicy",
+    "BreakerPolicy",
+    "BreakerState",
+    "BrownoutController",
+    "BrownoutLevel",
+    "BrownoutPolicy",
+    "CircuitBreaker",
+    "DefenseConfig",
+    "HedgeGroup",
+    "HedgePolicy",
     "MicroBatcher",
     "Replica",
     "ReplicaPool",

@@ -77,6 +77,11 @@ class AdmissionDecision:
 
     admitted: bool
     reason: str = ""               # "" | "rate-limited" | "shed"
+    #: Shed sub-reason ("queue-depth" | "brownout-bronze" |
+    #: "brownout-uncached") — telemetry detail; the metrics ledger folds
+    #: every variant into the one ``shed`` counter so the conservation
+    #: law (offered = admitted + rate_limited + shed) is untouched.
+    detail: str = ""
 
 
 class AdmissionController:
@@ -88,11 +93,33 @@ class AdmissionController:
         self.n_rate_limited = 0
         self.n_shed = 0
 
-    def decide(self, now: float, queue_depth: int) -> AdmissionDecision:
+    def decide(
+        self,
+        now: float,
+        queue_depth: int,
+        brownout_level: int = 0,
+        tier: str = "gold",
+        cacheable: bool = True,
+    ) -> AdmissionDecision:
+        """Gate one arrival.
+
+        The three trailing arguments are the brownout controller's
+        degradation signals (see
+        :class:`~repro.serving.defense.BrownoutLevel`): at level >= 2 the
+        bronze tier is shed, at level 3 only requests servable from the
+        cache (``cacheable``) are admitted.  Defaults reproduce the
+        pre-defense gate exactly.
+        """
         if not self._bucket.try_take(now):
             self.n_rate_limited += 1
             return AdmissionDecision(False, "rate-limited")
         if 0 < self.policy.max_queue_depth <= queue_depth:
             self.n_shed += 1
-            return AdmissionDecision(False, "shed")
+            return AdmissionDecision(False, "shed", "queue-depth")
+        if brownout_level >= 2 and tier == "bronze":
+            self.n_shed += 1
+            return AdmissionDecision(False, "shed", "brownout-bronze")
+        if brownout_level >= 3 and not cacheable:
+            self.n_shed += 1
+            return AdmissionDecision(False, "shed", "brownout-uncached")
         return AdmissionDecision(True)

@@ -51,6 +51,22 @@ class MicroBatcher:
     def __init__(self, policy: BatchPolicy) -> None:
         self.policy = policy
         self._queues: dict[str, deque[tuple[float, Request]]] = {}
+        self._wait_stretch = 1.0
+
+    def set_wait_stretch(self, factor: float) -> None:
+        """Scale ``max_wait_s`` by ``factor`` (brownout throughput mode).
+
+        Stretching the window trades queueing latency for bigger batches —
+        the mildest rung of the degradation ladder.  ``factor=1`` restores
+        the configured window.
+        """
+        if factor < 1.0:
+            raise ValueError("wait stretch must be >= 1")
+        self._wait_stretch = factor
+
+    @property
+    def effective_wait_s(self) -> float:
+        return self.policy.max_wait_s * self._wait_stretch
 
     # -- enqueue ------------------------------------------------------------
     def enqueue(self, req: Request, now: float, front: bool = False) -> None:
@@ -99,7 +115,7 @@ class MicroBatcher:
                 continue
             wait = now - q[0][0]
             if len(q) >= self.policy.max_batch_requests \
-                    or wait >= self.policy.max_wait_s - _EPS:
+                    or wait >= self.effective_wait_s - _EPS:
                 cand = (-len(q), -wait, model)
                 if best is None or cand < best:
                     best = cand
@@ -110,7 +126,7 @@ class MicroBatcher:
         heads = [q[0][0] for q in self._queues.values() if q]
         if not heads:
             return None
-        return min(heads) + self.policy.max_wait_s
+        return min(heads) + self.effective_wait_s
 
     # -- dispatch -----------------------------------------------------------
     def take(self, model: str) -> list[Request]:

@@ -50,6 +50,15 @@ class ResultCache:
         total = self.hits + self.misses + self.coalesced
         return (self.hits + self.coalesced) / total if total else 0.0
 
+    def contains(self, key: int) -> bool:
+        """Pure membership probe: would ``key`` hit or coalesce right now?
+
+        Unlike :meth:`lookup` this touches no counters, no LRU order and
+        no in-flight registration — the cache-only brownout rung uses it
+        to decide admission without perturbing cache statistics.
+        """
+        return self.enabled and (key in self._store or key in self._inflight)
+
     # -- lookup path --------------------------------------------------------
     def lookup(self, key: int, req_id: int) -> str:
         """Classify one admitted request: ``hit``/``coalesce``/``miss``.

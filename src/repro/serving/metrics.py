@@ -101,6 +101,35 @@ class ServingMetrics:
         self._failovers.inc()
         self._failed_over.inc(n_drained)
 
+    # -- defense accounting --------------------------------------------------
+    # These families are created lazily at first record, so a run without
+    # defenses enabled produces exactly the registry dump it always did.
+    def record_hedge_issued(self) -> None:
+        self.registry.counter("serving_hedges_total").inc()
+
+    def record_hedge_resolved(self, backup_won: bool,
+                              wasted_s: float) -> None:
+        """One hedged batch resolved: a side won, the duplicate was
+        cancelled after ``wasted_s`` seconds of thrown-away compute."""
+        side = "backup" if backup_won else "primary"
+        self.registry.counter("serving_hedge_wins_total", side=side).inc()
+        self.registry.counter("serving_hedge_wasted_seconds").inc(wasted_s)
+
+    def record_duplicate_response(self) -> None:
+        """A response arrived for an already-completed hedged batch."""
+        self.registry.counter("serving_duplicate_responses_total").inc()
+
+    def record_breaker_transition(self, to_state: str) -> None:
+        self.registry.counter("serving_breaker_transitions_total",
+                              to=to_state).inc()
+
+    def record_brownout_transition(self, to_level: int) -> None:
+        self.registry.counter("serving_brownout_transitions_total",
+                              to=str(to_level)).inc()
+
+    def _family_total(self, name: str) -> float:
+        return sum(inst.value for _, inst in self.registry.members(name))
+
     # -- ledger counts (registry views) --------------------------------------
     @property
     def offered(self) -> int:
@@ -145,6 +174,31 @@ class ServingMetrics:
     @property
     def requests_failed_over(self) -> int:
         return int(self._failed_over.value)
+
+    @property
+    def hedges_issued(self) -> int:
+        return int(self._family_total("serving_hedges_total"))
+
+    @property
+    def hedges_backup_won(self) -> int:
+        return int(self.registry.value("serving_hedge_wins_total",
+                                       side="backup"))
+
+    @property
+    def hedge_wasted_s(self) -> float:
+        return self._family_total("serving_hedge_wasted_seconds")
+
+    @property
+    def duplicate_responses(self) -> int:
+        return int(self._family_total("serving_duplicate_responses_total"))
+
+    @property
+    def breaker_transitions(self) -> int:
+        return int(self._family_total("serving_breaker_transitions_total"))
+
+    @property
+    def brownout_transitions(self) -> int:
+        return int(self._family_total("serving_brownout_transitions_total"))
 
     @property
     def module_busy_s(self) -> dict[str, float]:

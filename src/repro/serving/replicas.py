@@ -36,6 +36,9 @@ class InflightBatch:
     requests: list[Request]
     start: float
     done_evt: Optional[Event] = None
+    #: Hedge group this batch belongs to (None for unhedged batches);
+    #: opaque to the pool — the engine's hedging logic owns its type.
+    group: Optional[object] = None
 
 
 @dataclass
@@ -99,11 +102,23 @@ class ReplicaPool:
         return None
 
     # -- lifecycle -----------------------------------------------------------
-    def place(self, now: float) -> Optional[Replica]:
-        """Start one replica on the best module with capacity, or ``None``."""
+    def place(self, now: float,
+              avoid: Optional[dict[str, set[int]]] = None) -> Optional[Replica]:
+        """Start one replica on the best module with capacity, or ``None``.
+
+        ``avoid`` merges extra per-module node sets into the crash-derived
+        suspects for this one placement — the health detector's suspicion
+        (gray or partitioned nodes) flows in here without being recorded
+        as a permanent crash suspicion.
+        """
+        suspect = self.suspect
+        if avoid:
+            suspect = {k: set(v) for k, v in self.suspect.items()}
+            for key, nodes in avoid.items():
+                suspect.setdefault(key, set()).update(nodes)
         placed = place_standalone(self.system, self._phase,
                                   self.nodes_per_replica,
-                                  suspect=self.suspect)
+                                  suspect=suspect)
         if placed is None:
             return None
         key, nodes = placed

@@ -41,6 +41,9 @@ class Request:
     key: int                   # cache/dedup key (scene tile id)
     n_samples: int = 1         # samples (patches) bundled in this request
     model: str = "default"     # served model (batches never mix models)
+    #: Traffic tier: "gold" is protected; "bronze" is the best-effort
+    #: tier the brownout controller sheds first under overload.
+    tier: str = "gold"
 
     @property
     def latency_budget_s(self) -> float:
@@ -68,6 +71,8 @@ class TraceConfig:
     #: BURSTY: mean burst / gap lengths (exponential).
     burst_len_s: float = 5.0
     gap_len_s: float = 15.0
+    #: Fraction of requests in the sheddable "bronze" tier (0 = all gold).
+    bronze_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.rate_per_s <= 0 or self.duration_s <= 0:
@@ -84,6 +89,8 @@ class TraceConfig:
             raise ValueError("burst_factor must be >= 1")
         if self.burst_len_s <= 0 or self.gap_len_s <= 0:
             raise ValueError("burst/gap lengths must be positive")
+        if not (0.0 <= self.bronze_fraction <= 1.0):
+            raise ValueError("bronze_fraction must be in [0, 1]")
 
 
 def _zipf_keys(rng: np.random.Generator, n: int, universe: int) -> np.ndarray:
@@ -158,6 +165,13 @@ def generate_trace(cfg: TraceConfig) -> tuple[Request, ...]:
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown arrival pattern {cfg.pattern!r}")
     keys = _zipf_keys(rng, len(times), cfg.key_universe)
+    # Tier draws happen only when bronze traffic is configured, so the
+    # rng stream — and therefore every existing trace — is untouched at
+    # the default bronze_fraction of 0.
+    if cfg.bronze_fraction > 0.0:
+        bronze = rng.uniform(size=len(times)) < cfg.bronze_fraction
+    else:
+        bronze = np.zeros(len(times), dtype=bool)
     return tuple(
         Request(
             req_id=i,
@@ -165,6 +179,7 @@ def generate_trace(cfg: TraceConfig) -> tuple[Request, ...]:
             deadline_s=t + cfg.slo_deadline_s,
             key=int(k),
             n_samples=cfg.samples_per_request,
+            tier="bronze" if bronze[i] else "gold",
         )
         for i, (t, k) in enumerate(zip(times, keys))
     )

@@ -24,7 +24,14 @@ from repro.simnet.events import (
     SimulationError,
     Simulator,
 )
-from repro.simnet.link import Link, LinkKind, DuplexLink, UnreliableLink
+from repro.simnet.link import (
+    DuplexLink,
+    Link,
+    LinkKind,
+    PartitionedLink,
+    PartitionWindow,
+    UnreliableLink,
+)
 from repro.simnet.topology import (
     Topology,
     fat_tree,
@@ -56,6 +63,8 @@ __all__ = [
     "Link",
     "DuplexLink",
     "UnreliableLink",
+    "PartitionedLink",
+    "PartitionWindow",
     "LinkKind",
     "Topology",
     "fat_tree",

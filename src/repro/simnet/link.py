@@ -107,6 +107,69 @@ class DuplexLink:
         return self.link.transfer_time(nbytes)
 
 
+@dataclass(frozen=True)
+class PartitionWindow:
+    """One network-partition window: the cut exists in [start, end).
+
+    The pure time-arithmetic core of the NETWORK_PARTITION fault class —
+    shared by the simnet link wrapper below and the MPI transport so both
+    planes agree, to the ULP, on when the fabric is cut.
+    """
+
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError("partition must end at or after it starts")
+
+    def active(self, now: float) -> bool:
+        return self.start_s <= now < self.end_s
+
+    def delay_until_heal(self, now: float) -> float:
+        """Seconds a message sent at ``now`` stalls before the cut heals
+        (0 when the partition is not active at ``now``)."""
+        return self.end_s - now if self.active(now) else 0.0
+
+
+@dataclass
+class PartitionedLink:
+    """A link crossing a partition cut: transfers stall until heal.
+
+    Models what TCP-over-a-partition actually does — traffic neither
+    flows nor errors immediately; it times out, retransmits, and finally
+    goes through when the cut heals.  A transfer started inside the
+    window therefore costs ``(heal - now) + retransmit + base``; outside
+    the window the wrapper is transparent.  Deterministic: no randomness,
+    just window arithmetic.
+    """
+
+    link: Link
+    window: PartitionWindow
+    #: Extra cost of the post-heal retransmission burst.
+    retransmit_s: float = 1e-3
+    #: Transfers that hit the cut (accounting for the drill report).
+    stalled: int = field(init=False, default=0)
+
+    @property
+    def kind(self) -> LinkKind:
+        return self.link.kind
+
+    def transfer_time_at(self, now: float, nbytes: float) -> float:
+        """Delivery time for ``nbytes`` sent at simulated ``now``."""
+        base = self.link.transfer_time(nbytes)
+        stall = self.window.delay_until_heal(now)
+        if stall > 0.0:
+            self.stalled += 1
+            return stall + self.retransmit_s + base
+        return base
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Healthy-path cost (position-independent callers); use
+        :meth:`transfer_time_at` to account for the window."""
+        return self.link.transfer_time(nbytes)
+
+
 @dataclass
 class UnreliableLink:
     """A link that drops messages; dropped messages are retransmitted.

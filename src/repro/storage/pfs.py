@@ -16,6 +16,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import telemetry
+from repro.resilience.detect import ComponentHealth
+
 GiB = 1024 ** 3
 MiB = 1024 ** 2
 
@@ -149,17 +152,49 @@ class ParallelFileSystem:
         if not (0 <= index < self.n_targets):
             raise ValueError(f"target {index} out of range")
         self._failed_targets.add(index)
+        self._publish_health()
 
     def recover_target(self, index: int) -> None:
         self._failed_targets.discard(index)
+        self._publish_health()
 
     @property
     def failed_targets(self) -> set[int]:
         return set(self._failed_targets)
 
+    def health(self) -> ComponentHealth:
+        """Structured health: an OST loss is a *gray* state, not an outage.
+
+        Reads still complete (served from redundancy at
+        ``1/degraded_factor`` bandwidth), so the filesystem reports
+        ``ok`` until *every* target is gone, ``degraded`` while any is,
+        and a suspicion level proportional to the failed fraction — on
+        the same scale the phi-accrual detector uses, so schedulers and
+        drills consume storage health and replica health uniformly.
+        """
+        n_failed = len(self._failed_targets)
+        frac = n_failed / self.n_targets
+        detail = ""
+        if n_failed:
+            detail = (f"{n_failed}/{self.n_targets} OSTs failed; degraded "
+                      f"reads at {self.degraded_factor:g}x")
+        return ComponentHealth(
+            component=f"pfs:{self.name}",
+            ok=n_failed < self.n_targets,
+            degraded=n_failed > 0,
+            detail=detail,
+            suspicion=frac * self.degraded_factor,
+        )
+
+    def _publish_health(self) -> None:
+        """Push the current health report through the telemetry path."""
+        self.health().publish(telemetry.get_registry(), 0.0)
+
     @property
     def healthy(self) -> bool:
-        return not self._failed_targets
+        """Bare-bool view of :meth:`health` (kept for existing callers)."""
+        report = self.health()
+        return report.ok and not report.degraded
 
     # -- timing ----------------------------------------------------------------
     def read_time(

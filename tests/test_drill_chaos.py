@@ -1,0 +1,155 @@
+"""The chaos drill end to end: acceptance criteria, determinism, CLI."""
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.resilience.chaosdrill import (
+    ChaosDrillReport,
+    chaos_drill_plan,
+    run_chaos_drill,
+)
+
+
+@pytest.fixture(scope="module")
+def defended_drill():
+    return run_chaos_drill(seed=0, quick=True, defend=True)
+
+
+@pytest.fixture(scope="module")
+def control_drill():
+    return run_chaos_drill(seed=0, quick=True, defend=False)
+
+
+class TestAcceptance:
+    def test_zero_admitted_request_loss(self, defended_drill):
+        report, _ = defended_drill
+        assert report.lost_requests == 0
+        assert report.admitted == report.completed
+
+    def test_every_chaos_class_fired(self, defended_drill):
+        report, _ = defended_drill
+        assert report.partition_windows > 0
+        assert report.gray_episodes > 0
+        assert report.crashes > 0
+        assert report.chaos_delivered
+
+    def test_defenses_visibly_engaged(self, defended_drill):
+        report, _ = defended_drill
+        assert report.breaker_transitions > 0
+        assert report.hedges_issued > 0
+        assert report.hedges_backup_won >= 0
+
+    def test_storage_sidecar_went_gray_then_recovered(self, defended_drill):
+        report, _ = defended_drill
+        # OST loss is a *gray* state: ok but degraded.
+        assert report.storage_degraded_ok
+        assert "OSTs failed" in report.storage_degraded_detail
+        assert report.storage_recovered
+
+    def test_verdict_pass(self, defended_drill):
+        report, _ = defended_drill
+        assert report.ok
+        assert report.to_text().rstrip().endswith("verdict: PASS")
+
+
+class TestControlArm:
+    def test_zero_loss_is_structural_not_a_defense(self, control_drill):
+        """Defenses off: the same faults fire, nothing may be lost."""
+        report, _ = control_drill
+        assert report.chaos_delivered
+        assert report.lost_requests == 0
+
+    def test_defense_counters_read_zero(self, control_drill):
+        report, _ = control_drill
+        assert report.suspicion_events == 0
+        assert report.breaker_transitions == 0
+        assert report.hedges_issued == 0
+        assert report.brownout_path == ()
+        assert report.ok
+
+    def test_leaked_defense_activity_fails_control(self, control_drill):
+        report, _ = control_drill
+        assert not dataclasses.replace(report, hedges_issued=1).ok
+
+
+class TestDeterminism:
+    def test_same_args_byte_identical(self, defended_drill):
+        report, prometheus = defended_drill
+        report2, prometheus2 = run_chaos_drill(seed=0, quick=True,
+                                               defend=True)
+        assert report.to_text() == report2.to_text()
+        assert prometheus == prometheus2
+
+    def test_plan_is_pure_function_of_seed(self):
+        assert chaos_drill_plan(5, 12.0) == chaos_drill_plan(5, 12.0)
+        assert chaos_drill_plan(5, 12.0) != chaos_drill_plan(6, 12.0)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_other_seeds_pass(self, seed):
+        report, _ = run_chaos_drill(seed=seed, quick=True, defend=True)
+        assert report.ok, report.to_text()
+
+
+class TestVerdictGates:
+    """Each gate in ChaosDrillReport.ok is real, not decorative."""
+
+    def _passing(self, defended_drill, **overrides):
+        report, _ = defended_drill
+        return dataclasses.replace(report, **overrides)
+
+    def test_lost_request_fails(self, defended_drill):
+        assert not self._passing(defended_drill, completed=0).ok
+
+    def test_missing_chaos_fails(self, defended_drill):
+        assert not self._passing(defended_drill, partition_windows=0).ok
+        assert not self._passing(defended_drill, gray_episodes=0).ok
+        assert not self._passing(defended_drill, crashes=0).ok
+
+    def test_silent_defenses_fail(self, defended_drill):
+        assert not self._passing(defended_drill, breaker_transitions=0).ok
+        assert not self._passing(defended_drill, hedges_issued=0).ok
+
+    def test_storage_regression_fails(self, defended_drill):
+        assert not self._passing(defended_drill,
+                                 storage_degraded_ok=False).ok
+        assert not self._passing(defended_drill, storage_recovered=False).ok
+
+    def test_failing_report_renders_fail(self, defended_drill):
+        broken = self._passing(defended_drill, completed=0)
+        assert broken.to_text().rstrip().endswith("verdict: FAIL")
+
+
+class TestCli:
+    def test_drill_exits_zero_and_writes_artifacts(self, tmp_path):
+        out = tmp_path / "drill"
+        rc = main(["drill", "chaos", "--quick", "--out", str(out)])
+        assert rc == 0
+        report = (out / "report.txt").read_text()
+        assert "verdict: PASS" in report
+        assert "lost: 0" in report
+        assert (out / "metrics.prom").read_text()
+
+    def test_no_defend_control_arm_passes(self, tmp_path):
+        rc = main(["drill", "chaos", "--quick", "--no-defend",
+                   "--out", str(tmp_path / "d")])
+        assert rc == 0
+        report = (tmp_path / "d" / "report.txt").read_text()
+        assert "defenses off" in report
+
+    def test_cli_runs_byte_identical(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        assert main(["drill", "chaos", "--quick", "--out", str(a)]) == 0
+        assert main(["drill", "chaos", "--quick", "--out", str(b)]) == 0
+        assert (a / "report.txt").read_bytes() == \
+            (b / "report.txt").read_bytes()
+        assert (a / "metrics.prom").read_bytes() == \
+            (b / "metrics.prom").read_bytes()
+
+
+def test_report_is_frozen(defended_drill):
+    report, _ = defended_drill
+    assert isinstance(report, ChaosDrillReport)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        report.completed = 0

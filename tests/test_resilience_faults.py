@@ -14,6 +14,7 @@ from repro.resilience import (
     FaultPlan,
     FaultPlanError,
     FaultSpec,
+    partition_cut,
 )
 from repro.simnet import Link, LinkKind, Simulator, UnreliableLink
 from repro.simnet.events import SimulationError
@@ -191,3 +192,103 @@ class TestPlanValidation:
     def test_parse_rejects_unknown_module(self):
         with pytest.raises(FaultPlanError):
             FaultPlan.parse("crash=gpu:1", targets={"cm": 8})
+
+
+class TestChaosGrammar:
+    """The chaos= clause, its round-trip, and the partition cut."""
+
+    TARGETS = {"cm": 8, "esb": 8}
+
+    def test_parse_matches_constructor(self):
+        parsed = FaultPlan.parse("seed=7,chaos=partition:1,gray:2",
+                                 targets=self.TARGETS)
+        built = FaultPlan.chaos(7, targets=self.TARGETS,
+                                n_partitions=1, n_gray=2)
+        assert parsed.specs == built.specs
+
+    def test_bare_count_defaults_to_one(self):
+        plan = FaultPlan.parse("seed=3,chaos=partition", targets=self.TARGETS)
+        assert len(plan.of_kind(FaultKind.NETWORK_PARTITION)) == 1
+        assert len(plan.of_kind(FaultKind.GRAY_FAILURE)) == 0
+
+    def test_chaos_clause_round_trips(self):
+        plan = FaultPlan.chaos(11, targets=self.TARGETS,
+                               n_partitions=2, n_gray=1)
+        clause = plan.chaos_clause()
+        assert clause == "chaos=partition:2,gray:1"
+        replayed = FaultPlan.parse(f"seed={plan.seed},{clause}",
+                                   targets=self.TARGETS)
+        assert replayed.specs == plan.specs
+
+    def test_chaos_clause_empty_without_chaos(self):
+        plan = FaultPlan.random(1, {"cm": 8}, n_crashes=1)
+        assert plan.chaos_clause() == ""
+        assert not plan.has_chaos
+
+    def test_has_chaos_flags_either_kind(self):
+        gray_only = FaultPlan.chaos(1, self.TARGETS,
+                                    n_partitions=0, n_gray=1)
+        partition_only = FaultPlan.chaos(1, self.TARGETS,
+                                         n_partitions=1, n_gray=0)
+        assert gray_only.has_chaos and partition_only.has_chaos
+
+    def test_chaos_composes_with_crash_clauses(self):
+        plan = FaultPlan.parse("seed=5,crash=cm:1,chaos=gray:1,repair=10",
+                               targets=self.TARGETS)
+        assert len(plan.of_kind(FaultKind.NODE_CRASH)) == 1
+        gray = plan.of_kind(FaultKind.GRAY_FAILURE)
+        assert len(gray) == 1
+        assert gray[0].duration == 10.0
+
+    def test_unknown_chaos_fault_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.parse("chaos=zombie:1", targets=self.TARGETS)
+
+    def test_windows_heal_before_horizon(self):
+        plan = FaultPlan.parse("seed=9,chaos=partition:3,gray:3,horizon=100,"
+                               "repair=40", targets=self.TARGETS)
+        for spec in plan:
+            assert spec.time + spec.duration <= 100.0
+
+    def test_gray_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.GRAY_FAILURE, time=0.0, magnitude=0.5)
+        with pytest.raises(ValueError):
+            FaultSpec(kind=FaultKind.GRAY_FAILURE, time=0.0,
+                      magnitude=2.0, probability=1.5)
+
+    def test_partition_spec_validation(self):
+        for bad in (0.0, 1.0):
+            with pytest.raises(ValueError):
+                FaultSpec(kind=FaultKind.NETWORK_PARTITION, time=0.0,
+                          probability=bad)
+
+
+class TestPartitionCut:
+    def _spec(self, probability=0.4):
+        return FaultSpec(kind=FaultKind.NETWORK_PARTITION, time=3.0,
+                         duration=1.0, probability=probability)
+
+    def test_deterministic_and_order_independent(self):
+        spec = self._spec()
+        labels = [("esb", n) for n in range(8)]
+        assert (partition_cut(7, spec, labels)
+                == partition_cut(7, spec, reversed(labels)))
+
+    def test_seed_changes_the_cut(self):
+        spec = self._spec()
+        labels = list(range(64))
+        assert partition_cut(1, spec, labels) != partition_cut(2, spec, labels)
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_always_a_real_bipartition(self, seed):
+        """Both sides non-empty whenever >= 2 labels exist, at extreme
+        probabilities included."""
+        labels = list(range(5))
+        for probability in (0.01, 0.5, 0.99):
+            far = partition_cut(seed, self._spec(probability), labels)
+            assert 0 < len(far) < len(labels)
+
+    def test_single_label_may_be_cut_off(self):
+        far = partition_cut(0, self._spec(0.99), ["only"])
+        assert far in (frozenset(), frozenset({"only"}))

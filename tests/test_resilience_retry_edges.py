@@ -7,7 +7,7 @@ to raise ``OverflowError`` (the float exponential blows past 1e308 before
 
 import pytest
 
-from repro.resilience.retry import NO_RETRY, RetryPolicy
+from repro.resilience.retry import NO_RETRY, RetryBudget, RetryPolicy
 
 
 class TestShouldRetry:
@@ -102,3 +102,61 @@ class TestValidation:
     def test_zero_max_delay_rejected(self):
         with pytest.raises(ValueError):
             RetryPolicy(max_delay_s=0.0)
+
+
+class TestRetryBudget:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryBudget(ratio=-0.1)
+        with pytest.raises(ValueError):
+            RetryBudget(burst=0.5)
+        with pytest.raises(ValueError):
+            RetryBudget(floor=-1.0)
+
+    def test_starts_at_floor(self):
+        budget = RetryBudget(ratio=0.1, burst=20.0, floor=5.0)
+        assert budget.tokens == 5.0
+        assert not budget.exhausted
+
+    def test_requests_earn_ratio_capped_at_burst(self):
+        budget = RetryBudget(ratio=0.5, burst=10.0, floor=0.0)
+        budget.note_request(4)
+        assert budget.tokens == pytest.approx(2.0)
+        budget.note_request(1000)
+        assert budget.tokens == 10.0      # burst cap, not 502
+        with pytest.raises(ValueError):
+            budget.note_request(-1)
+
+    def test_try_spend_refuses_when_dry(self):
+        budget = RetryBudget(ratio=0.1, burst=20.0, floor=2.0)
+        assert budget.try_spend()
+        assert budget.try_spend()
+        assert budget.exhausted
+        assert not budget.try_spend()     # pool dry: optional work refused
+        assert budget.refused == 1
+        assert budget.spent == 2.0
+        assert budget.tokens == 0.0       # a refusal costs nothing
+
+    def test_spend_forced_overdrafts(self):
+        budget = RetryBudget(ratio=0.1, burst=20.0, floor=1.0)
+        budget.spend_forced(3.0)          # mandatory failover: never refused
+        assert budget.tokens == -2.0
+        assert budget.in_overdraft
+        assert budget.forced_overdraft == 2.0
+        # The high-water mark sticks even after the budget recovers.
+        budget.note_request(1000)
+        assert not budget.in_overdraft
+        assert budget.forced_overdraft == 2.0
+
+    def test_earning_restores_refused_spending(self):
+        budget = RetryBudget(ratio=1.0, burst=5.0, floor=0.0)
+        assert not budget.try_spend()
+        budget.note_request(2)
+        assert budget.try_spend()
+        assert budget.refused == 1 and budget.spent == 1.0
+
+    def test_zero_ratio_never_earns(self):
+        budget = RetryBudget(ratio=0.0, burst=5.0, floor=0.0)
+        budget.note_request(10_000)
+        assert budget.tokens == 0.0
+        assert not budget.try_spend()

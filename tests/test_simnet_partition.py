@@ -1,0 +1,151 @@
+"""Partition plumbing on both planes: the shared window arithmetic, the
+simnet link wrapper, and the MPI transport's stall-to-heal delivery.
+
+The contract under test is TCP-over-a-partition semantics: traffic that
+hits an active cut is *delayed to heal time plus a retransmission
+burst*, never silently dropped — the structural half of the chaos
+drill's zero-loss invariant.
+"""
+
+import pytest
+
+from repro.mpi.transport import Message, PartitionSchedule, Transport
+from repro.simnet import Link, LinkKind
+from repro.simnet.link import PartitionedLink, PartitionWindow
+
+
+def _link():
+    return Link(kind=LinkKind.INFINIBAND_HDR, latency_s=1e-6,
+                bandwidth_Bps=1e9)
+
+
+class TestPartitionWindow:
+    def test_active_is_half_open(self):
+        window = PartitionWindow(start_s=2.0, end_s=5.0)
+        assert not window.active(1.999)
+        assert window.active(2.0)
+        assert window.active(4.999)
+        assert not window.active(5.0)       # heal instant is healthy
+
+    def test_delay_until_heal(self):
+        window = PartitionWindow(start_s=2.0, end_s=5.0)
+        assert window.delay_until_heal(1.0) == 0.0
+        assert window.delay_until_heal(3.0) == 2.0
+        assert window.delay_until_heal(5.0) == 0.0
+
+    def test_rejects_backwards_window(self):
+        with pytest.raises(ValueError):
+            PartitionWindow(start_s=5.0, end_s=2.0)
+
+    def test_empty_window_is_never_active(self):
+        window = PartitionWindow(start_s=3.0, end_s=3.0)
+        assert not window.active(3.0)
+        assert window.delay_until_heal(3.0) == 0.0
+
+
+class TestPartitionedLink:
+    def test_transparent_outside_the_window(self):
+        base = _link()
+        cut = PartitionedLink(base, PartitionWindow(2.0, 5.0))
+        nbytes = 1 << 20
+        assert cut.transfer_time_at(1.0, nbytes) == base.transfer_time(nbytes)
+        assert cut.transfer_time_at(6.0, nbytes) == base.transfer_time(nbytes)
+        assert cut.stalled == 0
+
+    def test_stalls_to_heal_plus_retransmit_inside(self):
+        base = _link()
+        cut = PartitionedLink(base, PartitionWindow(2.0, 5.0),
+                              retransmit_s=1e-3)
+        nbytes = 1 << 20
+        cost = cut.transfer_time_at(3.0, nbytes)
+        assert cost == pytest.approx(2.0 + 1e-3
+                                     + base.transfer_time(nbytes))
+        assert cut.stalled == 1
+
+    def test_delivery_is_delayed_never_lost(self):
+        """Cost is always finite and >= the healthy cost: the partition
+        slows traffic down, it cannot make it disappear."""
+        base = _link()
+        cut = PartitionedLink(base, PartitionWindow(2.0, 5.0))
+        healthy = base.transfer_time(4096)
+        for now in (0.0, 2.0, 3.5, 4.999, 5.0, 100.0):
+            assert cut.transfer_time_at(now, 4096) >= healthy
+
+    def test_position_independent_path_stays_healthy(self):
+        base = _link()
+        cut = PartitionedLink(base, PartitionWindow(0.0, 1e9))
+        # transfer_time (no position) must not charge the stall.
+        assert cut.transfer_time(4096) == base.transfer_time(4096)
+
+
+class TestPartitionSchedule:
+    def test_crosses_is_xor_membership(self):
+        schedule = PartitionSchedule(window=PartitionWindow(0.0, 1.0),
+                                     far_ranks=frozenset({2, 3}))
+        assert schedule.crosses(0, 2)
+        assert schedule.crosses(3, 1)
+        assert not schedule.crosses(0, 1)   # both near
+        assert not schedule.crosses(2, 3)   # both far
+
+
+class TestTransportPartitions:
+    def _msg(self, source, send_time):
+        return Message(source=source, tag=0, context=0, payload=b"x",
+                       send_time=send_time, nbytes=1)
+
+    def test_far_ranks_validated(self):
+        transport = Transport(world_size=4)
+        with pytest.raises(ValueError):
+            transport.install_partition(PartitionSchedule(
+                window=PartitionWindow(0.0, 1.0),
+                far_ranks=frozenset({3, 4})))
+
+    def test_crossing_message_stalls_to_heal(self):
+        transport = Transport(world_size=2)
+        transport.install_partition(PartitionSchedule(
+            window=PartitionWindow(1.0, 4.0), far_ranks=frozenset({1}),
+            retransmit_s=1e-3))
+        transport.put(1, self._msg(source=0, send_time=2.0))
+        delivered = transport.get(1, source=0)
+        assert delivered.send_time == pytest.approx(4.0 + 1e-3)
+        assert transport.partition_stalled == 1
+
+    def test_same_side_message_unaffected(self):
+        transport = Transport(world_size=4)
+        transport.install_partition(PartitionSchedule(
+            window=PartitionWindow(1.0, 4.0), far_ranks=frozenset({2, 3})))
+        transport.put(1, self._msg(source=0, send_time=2.0))
+        assert transport.get(1, source=0).send_time == 2.0
+        assert transport.partition_stalled == 0
+
+    def test_outside_window_unaffected(self):
+        transport = Transport(world_size=2)
+        transport.install_partition(PartitionSchedule(
+            window=PartitionWindow(1.0, 4.0), far_ranks=frozenset({1})))
+        transport.put(1, self._msg(source=0, send_time=5.0))
+        assert transport.get(1, source=0).send_time == 5.0
+
+    def test_overlapping_windows_iterate_to_fixed_point(self):
+        """A message stalled past one cut may land inside the next; it
+        must be pushed past every window it encounters."""
+        transport = Transport(world_size=2)
+        transport.install_partition(PartitionSchedule(
+            window=PartitionWindow(1.0, 4.0), far_ranks=frozenset({1}),
+            retransmit_s=0.5))
+        transport.install_partition(PartitionSchedule(
+            window=PartitionWindow(4.0, 6.0), far_ranks=frozenset({1}),
+            retransmit_s=0.5))
+        transport.put(1, self._msg(source=0, send_time=2.0))
+        delivered = transport.get(1, source=0)
+        # 2.0 -> 4.5 (first heal + burst, inside window two) -> 6.5.
+        assert delivered.send_time == pytest.approx(6.5)
+        assert transport.partition_stalled == 2
+
+    def test_no_message_is_ever_dropped(self):
+        transport = Transport(world_size=2)
+        transport.install_partition(PartitionSchedule(
+            window=PartitionWindow(0.0, 10.0), far_ranks=frozenset({1})))
+        for i in range(20):
+            transport.put(1, self._msg(source=0, send_time=float(i)))
+        received = [transport.get(1, source=0) for _ in range(20)]
+        assert len(received) == 20

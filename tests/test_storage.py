@@ -224,3 +224,48 @@ class TestTieredStore:
             store.put(f"d{i}", gb * GiB)
         for tier in (MemoryTier.HBM, MemoryTier.DDR, MemoryTier.NVM):
             assert store.free_bytes(tier) >= 0
+
+
+class TestPfsHealth:
+    """The structured health surface behind the serving/storage drill."""
+
+    def test_clean_pfs_is_healthy(self):
+        pfs = ParallelFileSystem("fs", n_targets=4)
+        report = pfs.health()
+        assert report.ok and not report.degraded
+        assert report.suspicion == 0.0
+        assert pfs.healthy
+
+    def test_ost_loss_is_gray_not_dead(self):
+        pfs = ParallelFileSystem("fs", n_targets=4)
+        pfs.fail_target(0)
+        report = pfs.health()
+        assert report.ok            # still answering
+        assert report.degraded      # but visibly impaired
+        assert "1/4 OSTs failed" in report.detail
+        assert report.suspicion > 0.0
+        assert not pfs.healthy
+
+    def test_total_loss_is_dead(self):
+        pfs = ParallelFileSystem("fs", n_targets=2)
+        pfs.fail_target(0)
+        pfs.fail_target(1)
+        assert not pfs.health().ok
+
+    def test_recovery_restores_health(self):
+        pfs = ParallelFileSystem("fs", n_targets=4)
+        pfs.fail_target(2)
+        pfs.recover_target(2)
+        assert pfs.healthy
+
+    def test_health_published_to_enabled_registry(self):
+        from repro import telemetry
+
+        pfs = ParallelFileSystem("fs", n_targets=4)
+        with telemetry.capture() as (_, registry):
+            pfs.fail_target(1)
+            assert registry.value("component_health_degraded",
+                                  component="pfs:fs") == 1.0
+            pfs.recover_target(1)
+            assert registry.value("component_health_degraded",
+                                  component="pfs:fs") == 0.0
